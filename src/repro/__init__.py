@@ -1,0 +1,34 @@
+"""repro — Distributed Approximate Spectral Clustering (DASC).
+
+A full reproduction of Gao, Abd-Almageed & Hefeeda, "Distributed Approximate
+Spectral Clustering for Large-Scale Datasets", HPDC 2012: the LSH-based
+kernel-matrix approximation, the per-bucket spectral clustering built on it,
+a MapReduce execution substrate with a simulated elastic cluster, the SC /
+PSC / Nystrom baselines, the synthetic and Wikipedia-like datasets, and the
+analytic cost and collision models behind the paper's figures.
+
+Quickstart
+----------
+>>> from repro import DASC
+>>> from repro.data import make_blobs
+>>> X, y = make_blobs(n_samples=400, n_clusters=4, seed=0)
+>>> labels = DASC(n_clusters=4, seed=0).fit_predict(X)
+"""
+
+from repro.core import DASC, DASCConfig, default_n_bits, default_n_clusters
+from repro.spectral import SpectralClustering, KMeans
+from repro.baselines import PSC, NystromSpectralClustering
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DASC",
+    "DASCConfig",
+    "default_n_bits",
+    "default_n_clusters",
+    "SpectralClustering",
+    "KMeans",
+    "PSC",
+    "NystromSpectralClustering",
+    "__version__",
+]

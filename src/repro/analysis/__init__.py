@@ -1,0 +1,46 @@
+"""Analytic models from the paper's Section 4.
+
+* :mod:`repro.analysis.complexity` — Eqs. (3), (7)-(12): time/memory of
+  DASC vs exact SC (Figure 1's curves).
+* :mod:`repro.analysis.collision` — Eqs. (13)-(19): the collision
+  probability of near-duplicate points as a function of the signature
+  length M (Figure 2's curves), plus the Eq.-15 category fit of Table 1.
+"""
+
+from repro.analysis.complexity import (
+    dasc_time_ops,
+    sc_time_ops,
+    dasc_memory_bytes,
+    sc_memory_bytes,
+    dasc_time_seconds,
+    sc_time_seconds,
+    time_reduction_ratio,
+    space_reduction_ratio,
+    figure1_curves,
+    BETA_SECONDS,
+)
+from repro.analysis.collision import (
+    collision_probability_single,
+    collision_probability_group,
+    wikipedia_collision_probability,
+    fit_k_log2,
+    figure2_curves,
+)
+
+__all__ = [
+    "dasc_time_ops",
+    "sc_time_ops",
+    "dasc_memory_bytes",
+    "sc_memory_bytes",
+    "dasc_time_seconds",
+    "sc_time_seconds",
+    "time_reduction_ratio",
+    "space_reduction_ratio",
+    "figure1_curves",
+    "BETA_SECONDS",
+    "collision_probability_single",
+    "collision_probability_group",
+    "wikipedia_collision_probability",
+    "fit_k_log2",
+    "figure2_curves",
+]

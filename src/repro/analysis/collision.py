@@ -1,0 +1,103 @@
+"""Collision probability model (Section 4.2, Eqs. 13-19; Figure 2).
+
+Two points that differ significantly in ``r`` of their ``d`` dimensions
+collide (identical M-bit signatures) with probability
+``P1 = ((d - r) / d)^M`` (Eq. 13); a whole group of N/K near-by points all
+falls into one bucket with probability ``P2 = P1^(N/K)`` (Eq. 14).
+
+For the Wikipedia corpus the paper instantiates d via the term structure:
+each document has 11 terms, ``r = 5`` of which are category-specific,
+``t = 11 - r + r/K`` distinct terms per cluster-normalised document
+(Eq. 16), ``d = t K = K (11 - r) + N r`` (Eq. 17), and
+``K = 17 (log2 N - 9)`` (Eq. 15), giving the closed form of Eq. (18)/(19):
+
+``P2 = (1 - 5 / (17 (log2 N - 9) * 6 + 5 N))^(M N / (17 (log2 N - 9)))``
+
+(the paper typesets the exponent as M N/17 (log2 N - 9); the group size is
+N/K with K from Eq. 15).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "collision_probability_single",
+    "collision_probability_group",
+    "wikipedia_collision_probability",
+    "fit_k_log2",
+    "figure2_curves",
+]
+
+
+def collision_probability_single(d: float, r: float, m: float) -> float:
+    """Eq. (13): ``((d - r)/d)^M`` — two r-dissimilar points collide."""
+    if d <= 0:
+        raise ValueError(f"d must be > 0, got {d}")
+    if not 0 <= r <= d:
+        raise ValueError(f"r must be in [0, d], got {r}")
+    if m < 0:
+        raise ValueError(f"m must be >= 0, got {m}")
+    return ((d - r) / d) ** m
+
+
+def collision_probability_group(d: float, r: float, m: float, group_size: float) -> float:
+    """Eq. (14): ``P1^(N/K)`` — a group of near-by points shares one bucket."""
+    if group_size < 0:
+        raise ValueError(f"group_size must be >= 0, got {group_size}")
+    return collision_probability_single(d, r, m) ** group_size
+
+
+def wikipedia_collision_probability(n: float, m: float, *, r: float = 5.0, terms: float = 11.0) -> float:
+    """Eq. (18)/(19) for the Wikipedia structure: collision probability at size N.
+
+    Uses log-space evaluation so the astronomically small exponent bases at
+    N = 1G stay numerically exact.
+    """
+    if n < 1024:
+        raise ValueError(f"Eq. 15 needs N > 512 for a positive K; got n={n}")
+    k = 17.0 * (math.log2(n) - 9.0)
+    d = k * (terms - r) + n * r  # Eq. 17
+    group = n / k
+    # log P2 = M * group * log(1 - r/d)
+    log_p1_bit = math.log1p(-r / d)
+    return math.exp(m * group * log_p1_bit)
+
+
+def fit_k_log2(sizes, counts) -> tuple[float, float, float]:
+    """Least-squares fit ``K = a (log2 N - b)`` (the paper's Eq.-15 line fit).
+
+    Returns ``(a, b, r_squared)``. On Table 1's data this recovers
+    approximately a = 17, b = 9 for the lower half of the table (the paper
+    fits the full table with that line even though the largest sizes grow
+    faster).
+    """
+    x = np.log2(np.asarray(sizes, dtype=np.float64))
+    y = np.asarray(counts, dtype=np.float64)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("need at least two (size, count) pairs of equal length")
+    # K = a*x - a*b is linear in (a, a*b).
+    slope, intercept = np.polyfit(x, y, 1)
+    a = float(slope)
+    b = float(-intercept / slope) if slope != 0 else 0.0
+    pred = slope * x + intercept
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return a, b, r2
+
+
+def figure2_curves(m_values=range(5, 36), size_exponents=range(20, 31)) -> dict:
+    """Figure 2's series: collision probability vs M for N = 1M .. 1G.
+
+    Returns ``{"m_values": [...], "series": {"1M": [...], ...}}``.
+    """
+    ms = list(m_values)
+    out = {"m_values": ms, "series": {}}
+    for e in size_exponents:
+        n = 2.0**e
+        label = f"{2**(e - 20)}M" if e < 30 else "1G"
+        out["series"][label] = [wikipedia_collision_probability(n, m) for m in ms]
+    return out

@@ -1,0 +1,129 @@
+"""Time and space complexity models (Section 4.1; Figure 1).
+
+The paper's uniform-bucket upper bound: with B buckets of N/B points each
+and K clusters split as K/B per bucket,
+
+* DASC time (Eq. 11, in seconds):
+  ``beta / C * (M N + B^2 + 2N + B (2 (N/B)^2 + 2 (K/B)(N/B)))``
+* DASC memory (Eq. 12, bytes, single precision): ``4 B (N/B)^2 = 4 N^2/B``
+* exact SC time: ``beta / C * (2 N^2 + 2 K N + 2 N)`` and memory ``4 N^2``.
+
+Defaults match Figure 1's setting: ``beta = 50 microseconds``, ``C = 1024``
+machines, ``M = log2 B``, ``K = 17 (log2 N - 9)`` (Eq. 15).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "BETA_SECONDS",
+    "N_MACHINES",
+    "dasc_time_ops",
+    "sc_time_ops",
+    "dasc_memory_bytes",
+    "sc_memory_bytes",
+    "dasc_time_seconds",
+    "sc_time_seconds",
+    "time_reduction_ratio",
+    "space_reduction_ratio",
+    "figure1_curves",
+]
+
+#: Figure 1's machine-operation constant (Hennessy & Patterson reference).
+BETA_SECONDS = 50e-6
+
+#: Figure 1's cluster size.
+N_MACHINES = 1024
+
+
+def _defaults(n: float, n_buckets: float | None, n_clusters: float | None):
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if n_buckets is None:
+        # M = floor(log2 N / 2) - 1 and B = 2^M (the paper's M = log B link).
+        m = max(1, math.floor(math.log2(n) / 2) - 1)
+        n_buckets = float(2**m)
+    if n_clusters is None:
+        n_clusters = max(1.0, 17.0 * (math.log2(n) - 9.0))
+    if n_buckets < 1 or n_clusters < 1:
+        raise ValueError("n_buckets and n_clusters must be >= 1")
+    return float(n), float(n_buckets), float(n_clusters)
+
+
+def dasc_time_ops(n, *, n_buckets=None, n_clusters=None) -> float:
+    """Machine operations of DASC under the uniform-bucket bound (Eq. 10/11)."""
+    n, b, k = _defaults(n, n_buckets, n_clusters)
+    m = math.log2(b)
+    per_bucket = 2.0 * (n / b) ** 2 + 2.0 * (k / b) * (n / b)
+    return m * n + b * b + 2.0 * n + b * per_bucket
+
+
+def sc_time_ops(n, *, n_clusters=None) -> float:
+    """Machine operations of exact SC: ``2 N^2 + 2 K N + 2 N``."""
+    n, _, k = _defaults(n, 1.0, n_clusters)
+    return 2.0 * n * n + 2.0 * k * n + 2.0 * n
+
+
+def dasc_time_seconds(n, *, n_buckets=None, n_clusters=None, beta=BETA_SECONDS, n_machines=N_MACHINES) -> float:
+    """Eq. (11): simulated seconds on ``n_machines`` machines."""
+    if n_machines < 1:
+        raise ValueError(f"n_machines must be >= 1, got {n_machines}")
+    return beta / n_machines * dasc_time_ops(n, n_buckets=n_buckets, n_clusters=n_clusters)
+
+
+def sc_time_seconds(n, *, n_clusters=None, beta=BETA_SECONDS, n_machines=N_MACHINES) -> float:
+    """Exact-SC seconds under the same beta / C scaling."""
+    if n_machines < 1:
+        raise ValueError(f"n_machines must be >= 1, got {n_machines}")
+    return beta / n_machines * sc_time_ops(n, n_clusters=n_clusters)
+
+
+def dasc_memory_bytes(n, *, n_buckets=None) -> float:
+    """Eq. (12): ``4 B (N/B)^2`` bytes (single precision)."""
+    n, b, _ = _defaults(n, n_buckets, 1.0)
+    return 4.0 * b * (n / b) ** 2
+
+
+def sc_memory_bytes(n) -> float:
+    """Full Gram matrix: ``4 N^2`` bytes."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 4.0 * float(n) ** 2
+
+
+def time_reduction_ratio(n, *, n_buckets=None, n_clusters=None) -> float:
+    """Eq. (7)/(8): DASC ops / SC ops; approaches 1/B for large N."""
+    return dasc_time_ops(n, n_buckets=n_buckets, n_clusters=n_clusters) / sc_time_ops(
+        n, n_clusters=n_clusters
+    )
+
+
+def space_reduction_ratio(n, *, n_buckets=None) -> float:
+    """Eq. (9)/(10): DASC bytes / SC bytes = 1/B under the uniform bound."""
+    return dasc_memory_bytes(n, n_buckets=n_buckets) / sc_memory_bytes(n)
+
+
+def figure1_curves(exponents=range(20, 30)) -> dict:
+    """The four Figure-1 series for N = 2^e, e in ``exponents``.
+
+    Returns log2-scaled values exactly as the paper plots them: processing
+    time in hours after log2, memory in KB after log2, for DASC and SC.
+    """
+    exps = list(exponents)
+    out = {
+        "exponents": exps,
+        "dasc_time_log2_hours": [],
+        "sc_time_log2_hours": [],
+        "dasc_memory_log2_kb": [],
+        "sc_memory_log2_kb": [],
+    }
+    for e in exps:
+        n = 2.0**e
+        out["dasc_time_log2_hours"].append(math.log2(dasc_time_seconds(n) / 3600.0))
+        out["sc_time_log2_hours"].append(math.log2(sc_time_seconds(n) / 3600.0))
+        out["dasc_memory_log2_kb"].append(math.log2(dasc_memory_bytes(n) / 1024.0))
+        out["sc_memory_log2_kb"].append(math.log2(sc_memory_bytes(n) / 1024.0))
+    return out

@@ -1,0 +1,14 @@
+"""Comparison algorithms from the paper's Section 5.4.
+
+* **SC** — exact spectral clustering: :class:`repro.spectral.SpectralClustering`.
+* **PSC** — Chen et al.'s parallel spectral clustering:
+  :class:`repro.baselines.psc.PSC` (t-nearest-neighbour sparse similarity +
+  ARPACK eigensolve, the PARPACK role).
+* **NYST** — Nystrom-extension spectral clustering:
+  :class:`repro.baselines.nystrom.NystromSpectralClustering`.
+"""
+
+from repro.baselines.nystrom import NystromSpectralClustering
+from repro.baselines.psc import PSC
+
+__all__ = ["NystromSpectralClustering", "PSC"]

@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows:
+
+* ``repro cluster`` — run DASC (or SC/PSC/NYST) on a CSV of feature rows
+  and write a label column; prints accuracy when a label column is given.
+* ``repro generate`` — emit a synthetic dataset (blobs / uniform /
+  wikipedia) as CSV for experimentation.
+* ``repro analyze`` — print the paper's analytic curves (Figure 1 / 2
+  models) for a chosen dataset size.
+
+Installed as ``python -m repro.cli ...`` (no console-script entry point is
+registered so that offline ``setup.py develop`` installs stay simple).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument grammar (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_cluster = sub.add_parser("cluster", help="cluster a CSV of feature rows")
+    p_cluster.add_argument("input", help="CSV path, or '-' for stdin")
+    p_cluster.add_argument("-k", "--n-clusters", type=int, required=True)
+    p_cluster.add_argument(
+        "-a", "--algorithm", choices=("dasc", "sc", "psc", "nyst"), default="dasc"
+    )
+    p_cluster.add_argument("--sigma", type=float, default=None, help="Gaussian bandwidth")
+    p_cluster.add_argument("--n-bits", type=int, default=None, help="DASC signature length M")
+    p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument(
+        "--label-column", type=int, default=None,
+        help="0-based column holding ground-truth labels (excluded from features)",
+    )
+    p_cluster.add_argument("-o", "--output", default="-", help="output CSV ('-': stdout)")
+
+    p_gen = sub.add_parser("generate", help="emit a synthetic dataset as CSV")
+    p_gen.add_argument("kind", choices=("blobs", "uniform", "wikipedia"))
+    p_gen.add_argument("-n", "--n-samples", type=int, default=1024)
+    p_gen.add_argument("-k", "--n-clusters", type=int, default=8)
+    p_gen.add_argument("-d", "--n-features", type=int, default=16)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("-o", "--output", default="-")
+
+    p_an = sub.add_parser("analyze", help="print the paper's analytic models")
+    p_an.add_argument("model", choices=("complexity", "collision"))
+    p_an.add_argument("-n", "--n-samples", type=float, default=2**20)
+    p_an.add_argument("-m", "--n-bits", type=int, default=15)
+    return parser
+
+
+def _read_matrix(path: str, label_column: int | None):
+    stream = sys.stdin if path == "-" else open(path, newline="")
+    try:
+        rows = [row for row in csv.reader(stream) if row]
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    if not rows:
+        raise SystemExit("error: empty input")
+    data = np.array([[float(v) for v in row] for row in rows])
+    labels = None
+    if label_column is not None:
+        labels = data[:, label_column].astype(np.int64)
+        data = np.delete(data, label_column, axis=1)
+    return data, labels
+
+
+def _write_rows(path: str, rows) -> None:
+    stream = sys.stdout if path == "-" else open(path, "w", newline="")
+    try:
+        writer = csv.writer(stream)
+        writer.writerows(rows)
+    finally:
+        if stream is not sys.stdout:
+            stream.close()
+
+
+def _cmd_cluster(args) -> int:
+    from repro import DASC, PSC, NystromSpectralClustering, SpectralClustering
+    from repro.metrics import clustering_accuracy
+
+    X, y = _read_matrix(args.input, args.label_column)
+    sigma = args.sigma
+    if args.algorithm == "dasc":
+        algo = DASC(args.n_clusters, sigma=sigma, n_bits=args.n_bits, seed=args.seed)
+    elif args.algorithm == "sc":
+        algo = SpectralClustering(args.n_clusters, sigma=sigma or 1.0, seed=args.seed)
+    elif args.algorithm == "psc":
+        algo = PSC(args.n_clusters, sigma=sigma or 1.0, seed=args.seed)
+    else:
+        algo = NystromSpectralClustering(args.n_clusters, sigma=sigma or 1.0, seed=args.seed)
+    labels = algo.fit_predict(X)
+    _write_rows(args.output, [[int(l)] for l in labels])
+    if y is not None:
+        print(f"accuracy: {clustering_accuracy(y, labels):.4f}", file=sys.stderr)
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.data import make_blobs, make_uniform, make_wikipedia_dataset
+
+    if args.kind == "uniform":
+        X = make_uniform(args.n_samples, args.n_features, seed=args.seed)
+        rows = [list(map(float, row)) for row in X]
+    elif args.kind == "blobs":
+        X, y = make_blobs(
+            args.n_samples, n_clusters=args.n_clusters, n_features=args.n_features, seed=args.seed
+        )
+        rows = [list(map(float, row)) + [int(label)] for row, label in zip(X, y)]
+    else:
+        X, y = make_wikipedia_dataset(
+            args.n_samples, n_categories=args.n_clusters, seed=args.seed
+        )
+        rows = [list(map(float, row)) + [int(label)] for row, label in zip(X, y)]
+    _write_rows(args.output, rows)
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    if args.model == "complexity":
+        from repro.analysis import (
+            dasc_memory_bytes,
+            dasc_time_seconds,
+            sc_memory_bytes,
+            sc_time_seconds,
+        )
+
+        n = args.n_samples
+        print(f"N = {n:.0f}")
+        print(f"DASC time : {dasc_time_seconds(n) / 3600:.3f} h   memory: {dasc_memory_bytes(n) / 2**20:.1f} MiB")
+        print(f"SC time   : {sc_time_seconds(n) / 3600:.3f} h   memory: {sc_memory_bytes(n) / 2**20:.1f} MiB")
+    else:
+        from repro.analysis import wikipedia_collision_probability
+
+        p = wikipedia_collision_probability(args.n_samples, args.n_bits)
+        print(f"N = {args.n_samples:.0f}, M = {args.n_bits}: collision probability = {p:.4f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    return _cmd_analyze(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,186 @@
+"""Bucket grouping and merging — step 2 of DASC.
+
+Points with identical signatures fall into the same bucket. Buckets whose
+signatures share at least ``P`` of the ``M`` bits are then merged (Section
+3.3); with the paper's ``P = M - 1`` the test is the Eq.-6 bit trick
+``(A ^ B) & (A ^ B - 1) == 0``. Merging is transitive (chains of one-bit
+neighbours coalesce), implemented as union-find over the unique signatures —
+the pairwise O(T^2) comparison of the paper, with T = #unique signatures.
+
+Small buckets (below ``min_bucket_size``) are folded into their nearest
+surviving bucket by signature Hamming distance, so stragglers don't produce
+degenerate one-point spectral problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lsh.hamming import hamming_distance
+
+__all__ = ["Buckets", "group_by_signature", "merge_buckets"]
+
+
+@dataclass
+class Buckets:
+    """A partition of point indices into hashing buckets.
+
+    Attributes
+    ----------
+    assignments:
+        (n,) int — bucket id per point, ids in ``[0, n_buckets)``.
+    signatures:
+        (n_buckets,) uint64 — a representative signature per bucket.
+    n_bits:
+        Signature length M.
+    """
+
+    assignments: np.ndarray
+    signatures: np.ndarray
+    n_bits: int
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of buckets B."""
+        return int(self.signatures.shape[0])
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """(B,) bucket sizes N_i; sums to the number of points."""
+        return np.bincount(self.assignments, minlength=self.n_buckets)
+
+    def members(self, bucket_id: int) -> np.ndarray:
+        """Point indices belonging to ``bucket_id``, in input order."""
+        if not 0 <= bucket_id < self.n_buckets:
+            raise IndexError(f"bucket_id {bucket_id} out of range [0, {self.n_buckets})")
+        return np.nonzero(self.assignments == bucket_id)[0]
+
+    def iter_members(self):
+        """Yield ``(bucket_id, indices)`` for every bucket."""
+        order = np.argsort(self.assignments, kind="stable")
+        boundaries = np.searchsorted(self.assignments[order], np.arange(self.n_buckets + 1))
+        for b in range(self.n_buckets):
+            yield b, order[boundaries[b] : boundaries[b + 1]]
+
+
+def group_by_signature(signatures: np.ndarray, n_bits: int) -> Buckets:
+    """Bucket points by exact signature equality (one bucket per unique value)."""
+    signatures = np.asarray(signatures, dtype=np.uint64)
+    if signatures.ndim != 1:
+        raise ValueError(f"signatures must be 1-D, got shape {signatures.shape}")
+    unique, assignments = np.unique(signatures, return_inverse=True)
+    return Buckets(assignments=assignments.astype(np.int64), signatures=unique, n_bits=n_bits)
+
+
+class _UnionFind:
+    """Union-find with path compression over ``n`` elements."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+
+def _merge_groups(buckets: Buckets, groups: np.ndarray) -> Buckets:
+    """Re-label buckets according to a group id per original bucket.
+
+    Group ids are themselves bucket indices (the star leader / union-find
+    root / fold target), so each merged bucket's representative signature is
+    its leader's signature.
+    """
+    unique_groups, compact = np.unique(groups, return_inverse=True)
+    return Buckets(
+        assignments=compact[buckets.assignments],
+        signatures=buckets.signatures[unique_groups],
+        n_bits=buckets.n_bits,
+    )
+
+
+def merge_buckets(buckets: Buckets, min_shared_bits: int, *, strategy: str = "star") -> Buckets:
+    """Merge buckets whose signatures share at least ``min_shared_bits`` bits.
+
+    ``min_shared_bits = M`` is a no-op; ``M - 1`` is the paper's default and
+    uses the Eq.-6 one-bit test. Both strategies run the paper's pairwise
+    O(T^2) comparison over the T unique signatures; they differ in how the
+    pairwise merge relation is closed into a partition:
+
+    * ``"star"`` (default) — greedy, largest bucket first: each leader
+      absorbs its still-unmerged near-duplicate signatures, and absorbed
+      buckets do not recruit further. No chains, so two well-separated
+      clusters never glue together through a trail of noise signatures;
+      this preserves the parallelism (B stays large) that the paper's
+      Section 4.1 analysis and Figure 5 bucket counts assume.
+    * ``"transitive"`` — union-find closure of the pairwise relation (the
+      literal reading of Section 3.3). On data whose occupied signatures
+      are dense in the hypercube this can collapse everything into one
+      bucket, which is the worst case discussed in Section 4.1.
+    """
+    m = buckets.n_bits
+    if not 0 <= min_shared_bits <= m:
+        raise ValueError(f"min_shared_bits must be in [0, {m}], got {min_shared_bits}")
+    if strategy not in ("star", "transitive"):
+        raise ValueError(f"unknown merge strategy {strategy!r}")
+    if min_shared_bits == m or buckets.n_buckets <= 1:
+        return buckets
+    max_diff = m - min_shared_bits
+    sigs = buckets.signatures
+
+    if strategy == "transitive":
+        uf = _UnionFind(buckets.n_buckets)
+        for i in range(buckets.n_buckets - 1):
+            dist = hamming_distance(sigs[i], sigs[i + 1 :])
+            for j in np.nonzero(dist <= max_diff)[0]:
+                uf.union(i, i + 1 + int(j))
+        groups = np.array([uf.find(b) for b in range(buckets.n_buckets)], dtype=np.int64)
+        return _merge_groups(buckets, groups)
+
+    # Star merge: visit buckets largest-first; unclaimed buckets become
+    # leaders and claim their unclaimed near-duplicates.
+    sizes = buckets.sizes
+    order = np.argsort(sizes, kind="stable")[::-1]
+    groups = np.full(buckets.n_buckets, -1, dtype=np.int64)
+    for b in order:
+        if groups[b] != -1:
+            continue
+        groups[b] = b
+        dist = hamming_distance(sigs[b], sigs)
+        near = np.nonzero((dist <= max_diff) & (groups == -1))[0]
+        groups[near] = b
+    return _merge_groups(buckets, groups)
+
+
+def fold_small_buckets(buckets: Buckets, min_size: int) -> Buckets:
+    """Fold buckets smaller than ``min_size`` into their Hamming-nearest big bucket.
+
+    If every bucket is small, all points collapse into a single bucket (the
+    worst case the paper's Section 4.1 discusses). Ties go to the
+    lowest-signature neighbour for determinism.
+    """
+    if min_size <= 1 or buckets.n_buckets <= 1:
+        return buckets
+    sizes = buckets.sizes
+    big = np.nonzero(sizes >= min_size)[0]
+    if big.size == 0:
+        groups = np.zeros(buckets.n_buckets, dtype=np.int64)
+        return _merge_groups(buckets, groups)
+    if big.size == buckets.n_buckets:
+        return buckets
+    groups = np.arange(buckets.n_buckets, dtype=np.int64)
+    big_sigs = buckets.signatures[big]
+    for b in np.nonzero(sizes < min_size)[0]:
+        dist = hamming_distance(buckets.signatures[b], big_sigs)
+        groups[b] = big[int(np.argmin(dist))]
+    return _merge_groups(buckets, groups)

@@ -1,0 +1,132 @@
+"""DASC configuration and the paper's parameter defaults.
+
+Section 5.4 fixes the defaults used throughout the evaluation:
+
+* ``M = floor(log2(N) / 2) - 1`` signature bits,
+* ``P = M - 1`` — merge buckets whose signatures share at least M-1 bits,
+  i.e. differ in at most one bit, testable with the O(1) Eq.-6 trick.
+
+Section 4.2 / Table 1 fit the cluster count of the Wikipedia corpus as
+``K = 17 (log2 N - 9)`` (Eq. 15).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["default_n_bits", "default_n_clusters", "DASCConfig"]
+
+
+def default_n_bits(n_samples: int) -> int:
+    """The paper's M: ``floor(log2(N) / 2) - 1``, clamped to [1, 64]."""
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    m = math.floor(math.log2(n_samples) / 2) - 1
+    return max(1, min(64, m))
+
+
+def default_n_clusters(n_samples: int) -> int:
+    """Eq. (15): the Wikipedia category-count fit ``K = 17 (log2 N - 9)``.
+
+    Clamped below by 1 (the fit goes non-positive for N <= 512).
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    return max(1, round(17 * (math.log2(n_samples) - 9)))
+
+
+@dataclass
+class DASCConfig:
+    """All tunables of the DASC pipeline.
+
+    Parameters
+    ----------
+    n_clusters:
+        Total clusters K (``None``: Eq. 15 from the data size).
+    n_bits:
+        Signature length M (``None``: the Section-5.4 default from N).
+    min_shared_bits:
+        P. Buckets merge when signatures share >= P bits. ``None`` means the
+        paper's ``P = M - 1``. Setting ``P = M`` disables merging.
+    merge_strategy:
+        ``"star"`` (greedy largest-first, no chains; the default) or
+        ``"transitive"`` (union-find closure; the literal Section-3.3
+        reading, which can collapse dense signature sets into one bucket).
+        See :func:`repro.core.buckets.merge_buckets`.
+    hasher:
+        LSH family: ``"axis"`` (the paper's), ``"signed_rp"``, ``"pca"``,
+        ``"stable"``, ``"minhash"``.
+    dimension_policy / threshold_policy:
+        Passed to :class:`repro.lsh.axis.AxisParallelHasher`.
+    sigma:
+        Gaussian bandwidth of Eq. (1). ``None`` resolves to the median
+        pairwise-distance heuristic, except under the ``"eigengap"``
+        allocation, where the mean k-NN distance is used instead (the
+        eigengap needs a locality-scale bandwidth).
+    allocation:
+        Per-bucket cluster allocation: ``"proportional"`` (K_i ∝ N_i),
+        ``"sqrt"`` (K_i ∝ sqrt(N_i); favours small buckets), ``"fixed"``
+        (every bucket gets ``min(K, N_i)`` clusters), or ``"eigengap"``
+        (data-driven K_i from each bucket's Laplacian spectrum; an
+        extension beyond the paper).
+    min_bucket_size:
+        Buckets smaller than this are folded into their nearest (by
+        signature Hamming distance) large bucket before clustering, so
+        singleton buckets don't each consume a cluster.
+    refine_to_k:
+        When the per-bucket label union exceeds the requested K (the
+        ``"fixed"``/``"eigengap"`` policies, or clusters split across
+        buckets), agglomeratively merge clusters back down to K with
+        :func:`repro.core.refine.merge_clusters_to_k` (extension beyond
+        the paper).
+    eig_backend:
+        ``"dense"``, ``"lanczos"``, or ``"arpack"``.
+    zero_diagonal:
+        Algorithm 2's zero-self-similarity convention.
+    seed:
+        Master seed for hashing, eigensolvers, and K-means.
+    """
+
+    n_clusters: int | None = None
+    n_bits: int | None = None
+    min_shared_bits: int | None = None
+    merge_strategy: str = "star"
+    hasher: str = "axis"
+    dimension_policy: str = "span_weighted"
+    threshold_policy: str = "histogram_valley"
+    sigma: float | None = None
+    allocation: str = "proportional"
+    min_bucket_size: int = 2
+    refine_to_k: bool = True
+    eig_backend: str = "dense"
+    zero_diagonal: bool = True
+    kmeans_n_init: int = 4
+    seed: int | None = 0
+    extra: dict = field(default_factory=dict)
+
+    def resolve_n_bits(self, n_samples: int) -> int:
+        """M for this run (explicit value or the paper's default)."""
+        if self.n_bits is not None:
+            if not 1 <= self.n_bits <= 64:
+                raise ValueError(f"n_bits must be in [1, 64], got {self.n_bits}")
+            return self.n_bits
+        return default_n_bits(n_samples)
+
+    def resolve_n_clusters(self, n_samples: int) -> int:
+        """K for this run (explicit value or the Eq.-15 default)."""
+        if self.n_clusters is not None:
+            if self.n_clusters < 1:
+                raise ValueError(f"n_clusters must be >= 1, got {self.n_clusters}")
+            return self.n_clusters
+        return default_n_clusters(n_samples)
+
+    def resolve_min_shared_bits(self, n_bits: int) -> int:
+        """P for this run; the paper's default is M - 1."""
+        if self.min_shared_bits is not None:
+            if not 0 <= self.min_shared_bits <= n_bits:
+                raise ValueError(
+                    f"min_shared_bits must be in [0, {n_bits}], got {self.min_shared_bits}"
+                )
+            return self.min_shared_bits
+        return max(n_bits - 1, 0)

@@ -1,0 +1,209 @@
+"""The DASC estimator — the paper's full pipeline in one object.
+
+``DASC(...).fit(X)`` runs:
+
+1. LSH signatures (Section 3.2, Eqs. 4-5),
+2. bucket grouping + Eq.-6 merging + small-bucket folding,
+3. per-bucket Gaussian Gram blocks (Eq. 1, Algorithm 2),
+4. per-bucket NJW spectral clustering (Eq. 2 Laplacian, top-K_i
+   eigenvectors, row-normalized embedding, K-means),
+
+and exposes the combined labels plus per-stage time and exact Gram-memory
+accounting (the quantities of Figures 5 and 6 and Table 3).
+
+Spectral clustering is just the demonstration payload: :meth:`transform`
+exposes the approximate kernel itself, so any kernel method can consume it
+(see ``examples/kernel_pca_approx.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.allocation import allocate_clusters, choose_k_eigengap
+from repro.core.approx_kernel import ApproximateKernel, build_approximate_kernel
+from repro.core.buckets import Buckets, fold_small_buckets, group_by_signature, merge_buckets
+from repro.core.config import DASCConfig
+from repro.core.refine import merge_clusters_to_k
+from repro.core.signatures import compute_signatures
+from repro.kernels.bandwidth import mean_knn_heuristic, median_heuristic
+from repro.kernels.functions import GaussianKernel, Kernel
+from repro.spectral.embedding import spectral_embedding
+from repro.spectral.kmeans import KMeans
+from repro.utils.memory import MemoryLedger
+from repro.utils.rng import as_rng
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import check_2d
+
+__all__ = ["DASC"]
+
+
+class DASC:
+    """Distributed Approximate Spectral Clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Total number of clusters K (``None``: the paper's Eq.-15 default).
+    config:
+        A full :class:`repro.core.config.DASCConfig`; keyword arguments
+        below override individual fields for convenience.
+    kernel:
+        Kernel object; default Gaussian with ``config.sigma`` (or the median
+        heuristic when that is ``None``).
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    labels_ : (n,) global cluster assignments in ``[0, n_clusters_)``
+    n_clusters_ : actual number of clusters produced
+    buckets_ : the final :class:`~repro.core.buckets.Buckets` partition
+    approx_kernel_ : the block-diagonal :class:`ApproximateKernel`
+    signatures_ : (n,) packed uint64 signatures
+    n_bits_ : resolved signature length M
+    sigma_ : resolved Gaussian bandwidth
+    stopwatch_ : per-stage wall time (hash/bucket/kernel/spectral)
+    memory_ : Gram-storage ledger (the Figure-6(b) quantity)
+    """
+
+    def __init__(
+        self,
+        n_clusters: int | None = None,
+        *,
+        config: DASCConfig | None = None,
+        kernel: Kernel | None = None,
+        **overrides,
+    ):
+        cfg = config if config is not None else DASCConfig()
+        if n_clusters is not None:
+            cfg.n_clusters = n_clusters
+        for key, value in overrides.items():
+            if not hasattr(cfg, key):
+                raise TypeError(f"unknown DASC option {key!r}")
+            setattr(cfg, key, value)
+        self.config = cfg
+        self._kernel_override = kernel
+
+        self.labels_: np.ndarray | None = None
+        self.n_clusters_: int | None = None
+        self.buckets_: Buckets | None = None
+        self.approx_kernel_: ApproximateKernel | None = None
+        self.signatures_: np.ndarray | None = None
+        self.n_bits_: int | None = None
+        self.sigma_: float | None = None
+        self.cluster_allocation_: np.ndarray | None = None
+        self.stopwatch_ = Stopwatch()
+        self.memory_ = MemoryLedger()
+
+    # -- pipeline stages, individually callable for the MapReduce driver ----
+
+    def _resolve_kernel(self, X: np.ndarray) -> Kernel:
+        if self._kernel_override is not None:
+            self.sigma_ = getattr(self._kernel_override, "sigma", None)
+            return self._kernel_override
+        sigma = self.config.sigma
+        if sigma is None:
+            if self.config.allocation == "eigengap":
+                # The eigengap reads cluster counts off the affinity
+                # spectrum, which needs a locality-scale bandwidth; the
+                # global median fuses nearby clusters into one eigenvalue.
+                sigma = mean_knn_heuristic(X, seed=self.config.seed)
+            else:
+                sigma = median_heuristic(X, seed=self.config.seed)
+        self.sigma_ = float(sigma)
+        return GaussianKernel(self.sigma_)
+
+    def partition(self, X) -> Buckets:
+        """Stages 1-2: hash, group, merge, fold. Returns the final buckets."""
+        X = check_2d(X)
+        with self.stopwatch_.lap("hash"):
+            signatures, n_bits, hasher = compute_signatures(X, self.config)
+        self.signatures_ = signatures
+        self.n_bits_ = n_bits
+        self.hasher_ = hasher
+        with self.stopwatch_.lap("bucket"):
+            buckets = group_by_signature(signatures, n_bits)
+            p = self.config.resolve_min_shared_bits(n_bits)
+            buckets = merge_buckets(buckets, p, strategy=self.config.merge_strategy)
+            buckets = fold_small_buckets(buckets, self.config.min_bucket_size)
+        self.buckets_ = buckets
+        return buckets
+
+    def transform(self, X) -> ApproximateKernel:
+        """Stages 1-3: the approximate kernel matrix (algorithm-independent API)."""
+        X = check_2d(X)
+        buckets = self.partition(X)
+        kernel = self._resolve_kernel(X)
+        with self.stopwatch_.lap("kernel"):
+            approx = build_approximate_kernel(
+                X, buckets, kernel, zero_diagonal=self.config.zero_diagonal
+            )
+        self.memory_.charge("gram_blocks", approx.nbytes)
+        self.approx_kernel_ = approx
+        return approx
+
+    def fit(self, X) -> "DASC":
+        """Run the full DASC pipeline and populate ``labels_``."""
+        X = check_2d(X)
+        n = X.shape[0]
+        k_total = self.config.resolve_n_clusters(n)
+        approx = self.transform(X)
+        buckets = self.buckets_
+
+        sizes = buckets.sizes
+        if self.config.allocation == "eigengap":
+            # Data-driven K_i: read each bucket's cluster count off its own
+            # Gram block's spectrum (extension beyond the paper).
+            allocation = np.array(
+                [
+                    choose_k_eigengap(block, min(k_total, block.shape[0]))
+                    for block in approx.blocks
+                ],
+                dtype=np.int64,
+            )
+            # The eigengap can under-estimate (e.g. a large sigma fuses the
+            # spectrum); take the elementwise max with the proportional
+            # split so the union offers at least K clusters, then let the
+            # refine step merge any surplus back down.
+            if allocation.sum() < k_total:
+                proportional = allocate_clusters(sizes, k_total, policy="proportional")
+                allocation = np.maximum(allocation, proportional)
+        else:
+            allocation = allocate_clusters(sizes, k_total, policy=self.config.allocation)
+        self.cluster_allocation_ = allocation
+
+        labels = np.full(n, -1, dtype=np.int64)
+        seed_rng = as_rng(self.config.seed)
+        offset = 0
+        with self.stopwatch_.lap("spectral"):
+            for b, (idx, block) in enumerate(zip(approx.bucket_indices, approx.blocks)):
+                k_i = int(allocation[b])
+                labels[idx] = offset + self._cluster_block(block, k_i, seed_rng)
+                offset += k_i
+        assert (labels >= 0).all()
+        if self.config.refine_to_k and offset > k_total:
+            # Stitch cross-bucket fragments: merge the per-bucket cluster
+            # union down to the requested K (extension beyond the paper).
+            with self.stopwatch_.lap("refine"):
+                labels = merge_clusters_to_k(X, labels, k_total)
+            offset = k_total
+        self.labels_ = labels
+        self.n_clusters_ = offset
+        return self
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Fit and return the global labels."""
+        return self.fit(X).labels_
+
+    # -- internals ----------------------------------------------------------
+
+    def _cluster_block(self, block: np.ndarray, k_i: int, seed_rng: np.random.Generator) -> np.ndarray:
+        """Spectral-cluster one bucket's Gram block into ``k_i`` local labels."""
+        n_i = block.shape[0]
+        if k_i >= n_i:
+            return np.arange(n_i, dtype=np.int64)[: n_i] % max(k_i, 1)
+        if k_i == 1:
+            return np.zeros(n_i, dtype=np.int64)
+        eig_seed = int(seed_rng.integers(2**31))
+        embedding = spectral_embedding(block, k_i, backend=self.config.eig_backend, seed=eig_seed)
+        km = KMeans(k_i, n_init=self.config.kmeans_n_init, seed=int(seed_rng.integers(2**31)))
+        return km.fit_predict(embedding)

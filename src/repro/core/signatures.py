@@ -1,0 +1,55 @@
+"""Signature generation — step 1 of DASC.
+
+A thin dispatch layer over :mod:`repro.lsh`: builds the configured hash
+family and produces one packed ``uint64`` signature per point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import DASCConfig
+from repro.lsh.axis import AxisParallelHasher
+from repro.lsh.minhash import MinHasher
+from repro.lsh.random_projection import PCARotationHasher, SignedRandomProjectionHasher
+from repro.lsh.stable import StableDistributionHasher
+from repro.utils.validation import check_2d
+
+__all__ = ["make_hasher", "compute_signatures"]
+
+
+def make_hasher(config: DASCConfig, n_bits: int):
+    """Instantiate the LSH family named by ``config.hasher``."""
+    seed = config.seed
+    name = config.hasher.lower()
+    if name == "axis":
+        return AxisParallelHasher(
+            n_bits,
+            dimension_policy=config.dimension_policy,
+            threshold_policy=config.threshold_policy,
+            seed=seed,
+        )
+    if name == "signed_rp":
+        return SignedRandomProjectionHasher(n_bits, seed=seed)
+    if name == "pca":
+        return PCARotationHasher(n_bits, seed=seed)
+    if name == "stable":
+        return StableDistributionHasher(n_bits, seed=seed, **config.extra.get("stable", {}))
+    if name == "minhash":
+        return MinHasher(n_bits, seed=seed, **config.extra.get("minhash", {}))
+    raise ValueError(f"unknown hasher {config.hasher!r}")
+
+
+def compute_signatures(X, config: DASCConfig) -> tuple[np.ndarray, int, object]:
+    """Fit the configured hasher on ``X`` and return packed signatures.
+
+    Returns
+    -------
+    (signatures, n_bits, hasher) — ``signatures`` is (n,) uint64, ``n_bits``
+    the resolved M, ``hasher`` the fitted hash object (reusable on new data).
+    """
+    X = check_2d(X)
+    n_bits = config.resolve_n_bits(X.shape[0])
+    hasher = make_hasher(config, n_bits)
+    signatures = hasher.fit_hash(X)
+    return signatures, n_bits, hasher

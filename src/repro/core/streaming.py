@@ -1,0 +1,194 @@
+"""Incremental (split-by-split) DASC.
+
+Section 5.1: "the partitioning step allows our DASC algorithm to process
+very large scale data sets, because the data partitions (or splits) are
+incrementally processed, split by split" and "[d]istributed datasets can be
+thought of [as] huge datasets with splits stored on different machines,
+where the output hashes represent the keys that are used to exchange
+datapoints between different nodes."
+
+:class:`StreamingDASC` realises that mode of operation: hash parameters are
+fitted once on a sample (or the first chunk), then arbitrarily many chunks
+are absorbed one at a time — each chunk's points are hashed and appended to
+their buckets, and nothing larger than a bucket is ever materialised. The
+final clustering runs per bucket on demand. Peak memory is O(max bucket^2)
+instead of O(N^2), independent of how many chunks streamed through.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.config import DASCConfig
+from repro.core.refine import merge_clusters_to_k
+from repro.core.signatures import make_hasher
+from repro.kernels.bandwidth import median_heuristic
+from repro.kernels.functions import GaussianKernel
+from repro.kernels.matrix import gram_matrix
+from repro.spectral.embedding import spectral_embedding
+from repro.spectral.kmeans import KMeans
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_2d
+
+__all__ = ["StreamingDASC"]
+
+
+class StreamingDASC:
+    """DASC over a stream of data chunks.
+
+    Parameters
+    ----------
+    n_clusters:
+        Global cluster budget K (``None``: Eq. 15 from the total absorbed).
+    config:
+        Standard :class:`DASCConfig`; ``n_bits`` is resolved against the
+        *calibration sample*, so fix it explicitly when the stream is far
+        larger than the sample.
+
+    Usage
+    -----
+    >>> sd = StreamingDASC(n_clusters=8, config=DASCConfig(n_bits=6, seed=0))
+    >>> sd.calibrate(first_chunk)
+    >>> for chunk in chunks:
+    ...     sd.partial_fit(chunk)
+    >>> labels = sd.finalize()   # aligned with absorption order
+    """
+
+    def __init__(self, n_clusters: int | None = None, *, config: DASCConfig | None = None):
+        self.config = config if config is not None else DASCConfig()
+        if n_clusters is not None:
+            self.config.n_clusters = n_clusters
+        self._hasher = None
+        self._sigma: float | None = None
+        self._bucket_points: dict[int, list[np.ndarray]] = defaultdict(list)
+        self._bucket_order: dict[int, list[int]] = defaultdict(list)
+        self._n_seen = 0
+        self.labels_: np.ndarray | None = None
+        self.n_clusters_: int | None = None
+
+    # -- stream lifecycle -----------------------------------------------------
+
+    def calibrate(self, sample) -> "StreamingDASC":
+        """Fit hash parameters and the kernel bandwidth on a sample.
+
+        Must run before :meth:`partial_fit`; the sample itself is *not*
+        absorbed (pass it to :meth:`partial_fit` too if it is stream data).
+        """
+        sample = check_2d(sample)
+        n_bits = self.config.resolve_n_bits(sample.shape[0])
+        self._hasher = make_hasher(self.config, n_bits)
+        self._hasher.fit(sample)
+        self._n_bits = n_bits
+        sigma = self.config.sigma
+        if sigma is None:
+            sigma = median_heuristic(sample, seed=self.config.seed)
+        self._sigma = float(sigma)
+        return self
+
+    def partial_fit(self, chunk) -> "StreamingDASC":
+        """Absorb one chunk: hash its points into the bucket store."""
+        if self._hasher is None:
+            raise RuntimeError("call calibrate() before partial_fit()")
+        chunk = check_2d(chunk)
+        signatures = self._hasher.hash(chunk)
+        for row, sig in zip(chunk, signatures):
+            key = int(sig)
+            self._bucket_points[key].append(row)
+            self._bucket_order[key].append(self._n_seen)
+            self._n_seen += 1
+        return self
+
+    @property
+    def n_absorbed(self) -> int:
+        """Points absorbed so far."""
+        return self._n_seen
+
+    @property
+    def n_buckets(self) -> int:
+        """Occupied buckets so far."""
+        return len(self._bucket_points)
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Sizes of the occupied buckets (descending)."""
+        return np.sort([len(v) for v in self._bucket_points.values()])[::-1].astype(np.int64)
+
+    def peak_block_bytes(self) -> int:
+        """Largest single Gram block the finalize step will allocate."""
+        if not self._bucket_points:
+            return 0
+        largest = max(len(v) for v in self._bucket_points.values())
+        return largest * largest * 4
+
+    # -- finalisation -----------------------------------------------------------
+
+    def finalize(self) -> np.ndarray:
+        """Cluster every bucket and return labels in absorption order.
+
+        Small buckets (below ``config.min_bucket_size``) are merged into
+        one residual group and clustered together, mirroring the batch
+        pipeline's folding without needing the full signature table.
+        """
+        if self._n_seen == 0:
+            raise RuntimeError("no data absorbed; call partial_fit() first")
+        k_total = self.config.resolve_n_clusters(self._n_seen)
+        kernel = GaussianKernel(self._sigma)
+        seed_rng = as_rng(self.config.seed)
+
+        # Assemble per-bucket arrays; sweep small buckets into a residual.
+        groups: list[tuple[np.ndarray, list[int]]] = []
+        residual_pts: list[np.ndarray] = []
+        residual_idx: list[int] = []
+        for key in sorted(self._bucket_points):
+            pts = self._bucket_points[key]
+            idx = self._bucket_order[key]
+            if len(pts) < self.config.min_bucket_size:
+                residual_pts.extend(pts)
+                residual_idx.extend(idx)
+            else:
+                groups.append((np.asarray(pts), idx))
+        if residual_pts:
+            groups.append((np.asarray(residual_pts), residual_idx))
+
+        sizes = np.array([g[0].shape[0] for g in groups], dtype=np.int64)
+        from repro.core.allocation import allocate_clusters, choose_k_eigengap
+
+        policy = "proportional" if self.config.allocation == "eigengap" else self.config.allocation
+        ks = allocate_clusters(sizes, k_total, policy=policy)
+
+        labels = np.full(self._n_seen, -1, dtype=np.int64)
+        offset = 0
+        for (X_b, idx), k_floor in zip(groups, ks):
+            n_b = X_b.shape[0]
+            k_i = int(k_floor)
+            S = None
+            if n_b > 1:
+                S = gram_matrix(X_b, kernel, zero_diagonal=self.config.zero_diagonal)
+                if self.config.allocation == "eigengap":
+                    # Data-driven K_i with the proportional share as a floor
+                    # (mirrors the batch estimator's under-allocation guard).
+                    k_i = max(k_i, choose_k_eigengap(S, min(k_total, n_b)))
+            local = self._cluster_block_from_gram(X_b, S, k_i, seed_rng)
+            labels[np.asarray(idx)] = offset + local
+            offset += k_i
+        assert (labels >= 0).all()
+        if self.config.refine_to_k and offset > k_total:
+            all_points = np.concatenate([g[0] for g in groups])
+            all_idx = np.concatenate([np.asarray(g[1]) for g in groups])
+            order = np.argsort(all_idx)
+            labels = merge_clusters_to_k(all_points[order], labels, k_total)
+            offset = k_total
+        self.labels_ = labels
+        self.n_clusters_ = offset
+        return labels
+
+    def _cluster_block_from_gram(self, X_b, S, k_i, seed_rng) -> np.ndarray:
+        n_b = X_b.shape[0]
+        if k_i >= n_b:
+            return np.arange(n_b, dtype=np.int64)
+        if k_i == 1:
+            return np.zeros(n_b, dtype=np.int64)
+        eig_seed = int(seed_rng.integers(2**31))
+        Y = spectral_embedding(S, k_i, backend=self.config.eig_backend, seed=eig_seed)
+        return KMeans(k_i, n_init=self.config.kmeans_n_init, seed=int(seed_rng.integers(2**31))).fit_predict(Y)

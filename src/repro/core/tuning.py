@@ -1,0 +1,116 @@
+"""Choosing the approximation level (the paper's accuracy/resource knob).
+
+The abstract promises that "the level of approximation can be controlled to
+tradeoff some accuracy of the results with the required computing
+resources". The knob is M (more bits → more buckets → smaller kernel,
+larger approximation error). This module turns the promise into an API:
+
+* :func:`approximation_profile` — sweep M on a subsample and measure, for
+  each value, the bucket count, the kept-kernel fraction and the Frobenius
+  ratio (the Figure-5 quantities);
+* :func:`choose_n_bits` — the largest M (maximal savings) whose sampled
+  Frobenius ratio still meets a target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DASCConfig
+from repro.kernels.bandwidth import median_heuristic
+from repro.kernels.functions import GaussianKernel
+from repro.kernels.matrix import gram_matrix
+from repro.metrics.fnorm import fnorm_ratio
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_2d, check_probability
+
+__all__ = ["ProfileEntry", "approximation_profile", "choose_n_bits"]
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One row of an approximation profile."""
+
+    n_bits: int
+    n_buckets: int
+    kept_fraction: float  # stored kernel entries / N^2
+    fnorm_ratio: float  # Figure 5's quality measure
+
+
+def approximation_profile(
+    X,
+    bit_values=(2, 4, 6, 8, 10),
+    *,
+    config: DASCConfig | None = None,
+    max_samples: int = 1024,
+    seed=0,
+) -> list[ProfileEntry]:
+    """Measure the cost/quality tradeoff of each candidate M on a subsample.
+
+    The subsample keeps the profiling O(max_samples^2) regardless of N; the
+    resulting curve is the sampled version of Figure 5.
+    """
+    from repro.core.dasc import DASC
+
+    X = check_2d(X)
+    rng = as_rng(seed)
+    if X.shape[0] > max_samples:
+        X = X[rng.choice(X.shape[0], size=max_samples, replace=False)]
+    base = config if config is not None else DASCConfig()
+    sigma = base.sigma if base.sigma is not None else median_heuristic(X, seed=seed)
+    full = gram_matrix(X, GaussianKernel(sigma), zero_diagonal=base.zero_diagonal)
+
+    profile = []
+    for n_bits in bit_values:
+        if not 1 <= n_bits <= 64:
+            raise ValueError(f"bit values must be in [1, 64], got {n_bits}")
+        dasc = DASC(
+            config=DASCConfig(
+                n_bits=int(n_bits),
+                sigma=sigma,
+                min_bucket_size=base.min_bucket_size,
+                merge_strategy=base.merge_strategy,
+                hasher=base.hasher,
+                dimension_policy=base.dimension_policy,
+                threshold_policy=base.threshold_policy,
+                zero_diagonal=base.zero_diagonal,
+                seed=base.seed,
+            )
+        )
+        approx = dasc.transform(X)
+        profile.append(
+            ProfileEntry(
+                n_bits=int(n_bits),
+                n_buckets=approx.n_blocks,
+                kept_fraction=approx.stored_entries / X.shape[0] ** 2,
+                fnorm_ratio=fnorm_ratio(approx, full),
+            )
+        )
+    return profile
+
+
+def choose_n_bits(
+    X,
+    *,
+    target_fnorm_ratio: float = 0.9,
+    bit_values=(2, 4, 6, 8, 10),
+    config: DASCConfig | None = None,
+    max_samples: int = 1024,
+    seed=0,
+) -> int:
+    """Largest M whose sampled Fnorm ratio stays above the target.
+
+    Falls back to the smallest candidate when even it misses the target
+    (the caller asked for more fidelity than any bucketing provides; the
+    smallest M is then the least-bad choice).
+    """
+    check_probability(target_fnorm_ratio, name="target_fnorm_ratio")
+    profile = approximation_profile(
+        X, bit_values, config=config, max_samples=max_samples, seed=seed
+    )
+    feasible = [e for e in profile if e.fnorm_ratio >= target_fnorm_ratio]
+    if not feasible:
+        return min(e.n_bits for e in profile)
+    return max(e.n_bits for e in feasible)

@@ -1,0 +1,25 @@
+"""DASC on MapReduce — the paper's Section 3.3 implementation.
+
+Stage 1 (:mod:`repro.dasc_mr.stage1`) is Algorithm 1: a mapper that turns
+each input vector into its M-bit LSH signature. Between the stages the
+driver merges near-duplicate buckets (Eq. 6) exactly as the paper does
+"before applying the reducer". Stage 2 (:mod:`repro.dasc_mr.stage2`) is
+Algorithm 2 plus the spectral step: each reducer receives one bucket,
+computes its sub-similarity matrix, and clusters it. The
+:class:`repro.dasc_mr.driver.DistributedDASC` driver assembles the job flow
+and runs it on a simulated EMR cluster of any size — the Table-3 elasticity
+experiment in library form.
+"""
+
+from repro.dasc_mr.stage1 import make_signature_job, signature_mapper
+from repro.dasc_mr.stage2 import make_clustering_job, similarity_reducer
+from repro.dasc_mr.driver import DistributedDASC, DistributedResult
+
+__all__ = [
+    "make_signature_job",
+    "signature_mapper",
+    "make_clustering_job",
+    "similarity_reducer",
+    "DistributedDASC",
+    "DistributedResult",
+]

@@ -1,0 +1,137 @@
+"""Stage 2: Algorithm 2 + spectral clustering, one bucket per reducer.
+
+Algorithm 2's reducer receives ``(signature, list of indices)`` and computes
+the bucket's sub-similarity matrix with ``simFunc`` (the Gaussian kernel,
+Eq. 1), writing 0 on the diagonal. The paper then hands the matrices to
+Mahout's spectral clustering; here the same reducer carries on with the NJW
+steps (Eq.-2 Laplacian, top-K_i eigenvectors, row-normalized K-means) so a
+single reduce call turns one bucket into final labels — which is exactly
+the per-bucket unit of parallelism the elasticity experiment exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.functions import GaussianKernel
+from repro.kernels.matrix import gram_matrix
+from repro.mapreduce.types import JobSpec
+from repro.spectral.embedding import spectral_embedding
+from repro.spectral.kmeans import KMeans
+
+__all__ = ["similarity_reducer", "make_clustering_job", "similarity_matrix_reducer", "make_similarity_job"]
+
+
+def similarity_matrix_reducer(bucket_id, members, ctx):
+    """Algorithm 2 *verbatim*: emit the bucket's sub-similarity matrix.
+
+    This is the paper's literal reducer — compute ``subSimMat`` with
+    ``simFunc`` (Eq. 1, zero diagonal) and ``Output_to_File`` it. The
+    spectral step then runs as separate Mahout-style jobs
+    (:class:`repro.mr_ml.spectral.MRSpectralClustering`) over the stored
+    matrices; see ``DistributedDASC(spectral_mode="mahout")``.
+    """
+    params = ctx.job.params
+    indices = [m[0] for m in members]
+    X = np.asarray([np.asarray(m[1], dtype=np.float64) for m in members])
+    S = gram_matrix(X, GaussianKernel(params["sigma"]), zero_diagonal=True)
+    ctx.increment("dasc", "similarity_matrices_written")
+    ctx.increment("dasc", "similarity_entries", S.shape[0] * S.shape[0])
+    yield (bucket_id, (indices, S))
+
+
+def make_similarity_job(*, sigma: float, n_reducers: int, name: str = "dasc-stage2-simmat") -> JobSpec:
+    """Build the Algorithm-2-only JobSpec (sub-similarity matrices as output)."""
+    if n_reducers < 1:
+        raise ValueError(f"n_reducers must be >= 1, got {n_reducers}")
+
+    def identity_mapper(key, value, ctx):
+        yield (key, value)
+
+    return JobSpec(
+        name=name,
+        mapper=identity_mapper,
+        reducer=similarity_matrix_reducer,
+        n_reducers=n_reducers,
+        partitioner=lambda key, n: int(key) % n,
+        reduce_cost=lambda bucket_id, members: float(len(members) ** 2),
+        params={"sigma": float(sigma)},
+    )
+
+
+def similarity_reducer(bucket_id, members, ctx):
+    """One bucket -> sub-similarity matrix -> local spectral labels.
+
+    ``members`` is a list of ``(index, vector)`` pairs. ``ctx.job.params``
+    carries ``sigma``, ``allocation`` (bucket_id -> (K_i, label_offset)),
+    ``kmeans_n_init``, ``eig_backend`` and ``seed``. Emits
+    ``(index, global_label)`` pairs.
+    """
+    params = ctx.job.params
+    k_i, offset = params["allocation"][bucket_id]
+    indices = [m[0] for m in members]
+    X = np.asarray([np.asarray(m[1], dtype=np.float64) for m in members])
+    n_i = X.shape[0]
+    ctx.increment("dasc", "buckets_reduced")
+    ctx.increment("dasc", "similarity_entries", n_i * n_i)
+
+    if k_i >= n_i:
+        local = np.arange(n_i, dtype=np.int64)
+    elif k_i == 1:
+        local = np.zeros(n_i, dtype=np.int64)
+    else:
+        # Algorithm 2: the bucket's Gram block with a zero diagonal...
+        S = gram_matrix(X, GaussianKernel(params["sigma"]), zero_diagonal=True)
+        # ...then Eq. 2 + NJW embedding + K-means on the embedding rows.
+        seed = (params["seed"] + int(bucket_id)) % (2**31)
+        Y = spectral_embedding(S, k_i, backend=params["eig_backend"], seed=seed)
+        local = KMeans(k_i, n_init=params["kmeans_n_init"], seed=seed).fit_predict(Y)
+
+    for idx, lab in zip(indices, local):
+        yield (idx, offset + int(lab))
+
+
+def make_clustering_job(
+    *,
+    sigma: float,
+    allocation: dict,
+    n_reducers: int,
+    eig_backend: str = "dense",
+    kmeans_n_init: int = 4,
+    seed: int = 0,
+    name: str = "dasc-stage2-spectral",
+) -> JobSpec:
+    """Build the stage-2 JobSpec.
+
+    ``allocation`` maps bucket id -> ``(K_i, global label offset)``; the
+    driver computes it from the bucket sizes (Section 4.1's K_i split).
+    The reduce cost model is the paper's per-bucket complexity,
+    ``2 N_i^2 + 2 K_i N_i`` (Eq. 3's bucket terms), which is what makes the
+    simulated makespans follow the paper's analysis.
+    """
+    if n_reducers < 1:
+        raise ValueError(f"n_reducers must be >= 1, got {n_reducers}")
+
+    def identity_mapper(key, value, ctx):
+        yield (key, value)
+
+    def reduce_cost(bucket_id, members):
+        n_i = len(members)
+        k_i = allocation[bucket_id][0]
+        return float(2 * n_i * n_i + 2 * k_i * n_i)
+
+    return JobSpec(
+        name=name,
+        mapper=identity_mapper,
+        reducer=similarity_reducer,
+        n_reducers=n_reducers,
+        partitioner=lambda key, n: int(key) % n,
+        reduce_cost=reduce_cost,
+        params={
+            "sigma": float(sigma),
+            "allocation": allocation,
+            "eig_backend": eig_backend,
+            "kmeans_n_init": int(kmeans_n_init),
+            "seed": int(seed),
+        },
+    )

@@ -1,0 +1,166 @@
+"""Simulated Wikipedia site + the paper's category-tree crawler.
+
+Section 5.2 describes the acquisition: a crawler starts at the category
+index page, follows sub-category links — distinguished in the HTML as
+``CategoryTreeBullet`` (has its own sub-categories) vs
+``CategoryTreeEmptyBullet`` (only leaf articles) — and downloads the leaf
+documents. :class:`SyntheticWikipedia` serves a generated category tree as
+HTML pages; :class:`Crawler` performs the recursive traversal and returns
+the page texts and the recovered tree, ready for
+:func:`repro.data.text.preprocess_document`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.wikipedia import Corpus, WikipediaCorpusConfig, generate_corpus
+from repro.utils.rng import as_rng
+
+__all__ = ["SyntheticWikipedia", "Crawler", "CrawlResult"]
+
+INDEX_URL = "/wiki/Portal:Contents/Categories"
+
+
+@dataclass
+class _CategoryNode:
+    name: str
+    url: str
+    children: list["_CategoryNode"] = field(default_factory=list)
+    article_urls: list[str] = field(default_factory=list)
+
+    @property
+    def is_leaf_category(self) -> bool:
+        return not self.children
+
+
+class SyntheticWikipedia:
+    """An in-memory web site: category pages + article pages as HTML strings.
+
+    Built from a generated :class:`Corpus`: the corpus's categories are
+    arranged into a tree of branching factor ``branching``, interior nodes
+    become ``CategoryTreeBullet`` links and leaf categories become
+    ``CategoryTreeEmptyBullet`` links whose pages list their article links.
+    """
+
+    def __init__(self, corpus: Corpus | None = None, *, branching: int = 4, seed=0, **corpus_overrides):
+        if corpus is None:
+            cfg = WikipediaCorpusConfig(seed=seed, **corpus_overrides)
+            corpus = generate_corpus(cfg)
+        self.corpus = corpus
+        self.branching = max(2, int(branching))
+        self._pages: dict[str, str] = {}
+        self._article_category: dict[str, int] = {}
+        self._build(as_rng(seed))
+
+    # -- site construction -----------------------------------------------------
+
+    def _build(self, rng) -> None:
+        # Leaf category nodes, one per corpus category.
+        leaves = [
+            _CategoryNode(name=name, url=f"/wiki/Category:{i}")
+            for i, name in enumerate(self.corpus.category_names)
+        ]
+        for doc in self.corpus.documents:
+            url = f"/wiki/{doc.title}"
+            leaves[doc.category_id].article_urls.append(url)
+            self._article_category[url] = doc.category_id
+            self._pages[url] = (
+                f"<html><head><title>{doc.title}</title></head><body>"
+                f"<h1>{doc.title}</h1><p>{doc.text}</p></body></html>"
+            )
+        # Stack leaves under interior nodes until a single root remains.
+        level = leaves
+        counter = 0
+        while len(level) > 1:
+            parents = []
+            for start in range(0, len(level), self.branching):
+                group = level[start : start + self.branching]
+                parent = _CategoryNode(
+                    name=f"Branch_{counter}", url=f"/wiki/Category:Branch_{counter}"
+                )
+                parent.children = group
+                parents.append(parent)
+                counter += 1
+            level = parents
+        self.root = level[0]
+        self.root.url = INDEX_URL
+        self._render_category_pages(self.root)
+
+    def _render_category_pages(self, node: _CategoryNode) -> None:
+        rows = []
+        for child in node.children:
+            bullet = "CategoryTreeEmptyBullet" if child.is_leaf_category else "CategoryTreeBullet"
+            rows.append(f'<div class="{bullet}"><a href="{child.url}">{child.name}</a></div>')
+        for url in node.article_urls:
+            rows.append(f'<div class="ArticleLink"><a href="{url}">{url}</a></div>')
+        self._pages[node.url] = "<html><body>" + "".join(rows) + "</body></html>"
+        for child in node.children:
+            self._render_category_pages(child)
+
+    # -- serving -----------------------------------------------------------------
+
+    def fetch(self, url: str) -> str:
+        """Return the HTML of a page (KeyError for a broken link)."""
+        return self._pages[url]
+
+    def category_of(self, article_url: str) -> int:
+        """Ground-truth category of an article page."""
+        return self._article_category[article_url]
+
+
+@dataclass
+class CrawlResult:
+    """What the crawler recovered from the site."""
+
+    article_html: dict[str, str]  # article url -> raw HTML
+    category_urls: list[str]  # every category page visited, in visit order
+    tree_edges: list[tuple[str, str]]  # (parent url, child url)
+
+    @property
+    def n_documents(self) -> int:
+        return len(self.article_html)
+
+
+class Crawler:
+    """The recursive category-tree crawler of Section 5.2."""
+
+    def __init__(self, site: SyntheticWikipedia):
+        self.site = site
+
+    def crawl(self, start_url: str = INDEX_URL, *, max_pages: int | None = None) -> CrawlResult:
+        """Depth-first traversal from ``start_url``; leaf articles are downloaded."""
+        result = CrawlResult(article_html={}, category_urls=[], tree_edges=[])
+        self._visit(start_url, result, max_pages)
+        return result
+
+    def _visit(self, url: str, result: CrawlResult, max_pages: int | None) -> None:
+        if max_pages is not None and result.n_documents >= max_pages:
+            return
+        html = self.site.fetch(url)
+        result.category_urls.append(url)
+        for kind, target in self._parse_links(html):
+            if max_pages is not None and result.n_documents >= max_pages:
+                return
+            if kind in ("CategoryTreeBullet", "CategoryTreeEmptyBullet"):
+                result.tree_edges.append((url, target))
+                self._visit(target, result, max_pages)
+            else:  # article link
+                result.article_html[target] = self.site.fetch(target)
+
+    @staticmethod
+    def _parse_links(html: str) -> list[tuple[str, str]]:
+        """Extract (css-class, href) pairs from the generated page markup."""
+        links = []
+        pos = 0
+        while True:
+            start = html.find('<div class="', pos)
+            if start == -1:
+                break
+            cls_start = start + len('<div class="')
+            cls_end = html.find('"', cls_start)
+            href_start = html.find('href="', cls_end) + len('href="')
+            href_end = html.find('"', href_start)
+            links.append((html[cls_start:cls_end], html[href_start:href_end]))
+            pos = href_end
+        return links

@@ -1,0 +1,72 @@
+"""Dataset persistence and splitting utilities.
+
+Round-trips feature matrices (+ optional labels) through CSV — the exchange
+format the CLI uses — and provides deterministic train/test splitting for
+the classifier demos.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_2d, check_labels
+
+__all__ = ["save_csv", "load_csv", "train_test_split"]
+
+
+def save_csv(path, X, labels=None) -> None:
+    """Write ``X`` (and an optional trailing label column) as CSV."""
+    X = check_2d(X)
+    if labels is not None:
+        labels = check_labels(labels, n_samples=X.shape[0])
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        for i, row in enumerate(X):
+            out = [repr(float(v)) for v in row]
+            if labels is not None:
+                out.append(int(labels[i]))
+            writer.writerow(out)
+
+
+def load_csv(path, *, label_column: int | None = None):
+    """Read a CSV of numbers; returns ``(X, labels)`` (labels may be None).
+
+    ``label_column`` is 0-based and may be negative (-1 = last column).
+    """
+    rows = []
+    with open(path, newline="") as fh:
+        for row in csv.reader(fh):
+            if row:
+                rows.append([float(v) for v in row])
+    if not rows:
+        raise ValueError(f"{Path(path)} is empty")
+    data = np.array(rows)
+    labels = None
+    if label_column is not None:
+        labels = data[:, label_column].astype(np.int64)
+        data = np.delete(data, label_column % data.shape[1], axis=1)
+    return data, labels
+
+
+def train_test_split(X, y=None, *, test_fraction: float = 0.25, seed=0):
+    """Deterministic shuffled split; returns ``(X_tr, X_te)`` or with labels.
+
+    Guarantees at least one sample on each side for any 0 < fraction < 1.
+    """
+    X = check_2d(X)
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    n = X.shape[0]
+    if n < 2:
+        raise ValueError("need at least two samples to split")
+    n_test = min(max(1, round(n * test_fraction)), n - 1)
+    order = as_rng(seed).permutation(n)
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    if y is None:
+        return X[train_idx], X[test_idx]
+    y = check_labels(y, n_samples=n)
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]

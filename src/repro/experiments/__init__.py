@@ -1,0 +1,43 @@
+"""The paper's experiments as a public, programmatic API.
+
+Each function in :mod:`repro.experiments.paper` regenerates one table or
+figure of the evaluation section and returns an
+:class:`~repro.experiments.base.ExperimentResult` (named rows + series);
+the benchmark suite calls these same functions and asserts the shape
+criteria on their output, so ``pytest benchmarks/`` and
+``python -m repro.experiments <id>`` are guaranteed to agree.
+
+>>> from repro.experiments import run_experiment, EXPERIMENTS
+>>> sorted(EXPERIMENTS)
+['fig1', 'fig2', 'fig3', 'fig4', 'fig5', 'fig6', 'table1', 'table3']
+>>> result = run_experiment("fig1")
+>>> print(result.render())  # doctest: +SKIP
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.paper import (
+    EXPERIMENTS,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    run_experiment,
+    table1,
+    table3,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "table1",
+    "table3",
+]

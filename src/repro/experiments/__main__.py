@@ -1,0 +1,34 @@
+"""``python -m repro.experiments [id ...]`` — regenerate paper artifacts.
+
+With no arguments, lists the available experiment ids; with ids, runs each
+and prints its table. ``all`` runs everything (the analytic experiments are
+instant; the measured ones take minutes on one core).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: python -m repro.experiments <id ...|all>")
+        print("available:", " ".join(sorted(EXPERIMENTS)))
+        return 0
+    ids = sorted(EXPERIMENTS) if args == ["all"] else args
+    try:
+        for experiment_id in ids:
+            result = run_experiment(experiment_id)
+            print(result.render())
+            print()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Experiment result container and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def format_table(title: str, header: list[str], rows: list[list]) -> str:
+    """Fixed-width text table (the layout the benches print)."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(header)
+    ]
+    lines = [f"=== {title} ==="]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id (``"fig3"``, ``"table1"``, ...).
+    title:
+        Human-readable name including the paper artifact.
+    header / rows:
+        The printable table, in the paper's row/series layout.
+    data:
+        The raw numbers keyed by series name, for assertions and plotting.
+    notes:
+        Substitutions / deviations relevant to interpreting the numbers.
+    """
+
+    experiment_id: str
+    title: str
+    header: list[str]
+    rows: list[list]
+    data: dict = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """The table as printable text (plus notes, when present)."""
+        out = format_table(self.title, self.header, self.rows)
+        if self.notes:
+            out += f"\nnote: {self.notes}"
+        return out

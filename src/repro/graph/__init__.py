@@ -1,0 +1,24 @@
+"""Affinity-graph substrate.
+
+Spectral clustering is graph partitioning in disguise: the kernel matrix is
+a weighted graph, the Laplacian's spectrum encodes its cut structure, and
+clustering quality is a cut quality. This package provides the graph-side
+vocabulary — construction (k-NN / epsilon graphs), connectivity, and cut
+metrics (normalized cut, conductance) — used by the test-suite to verify
+the spectral stack from an independent angle and available to downstream
+users for diagnostics (e.g. "did my sigma disconnect the graph?").
+"""
+
+from repro.graph.build import knn_graph, epsilon_graph
+from repro.graph.components import connected_components, is_connected
+from repro.graph.cuts import cut_weight, normalized_cut, conductance
+
+__all__ = [
+    "knn_graph",
+    "epsilon_graph",
+    "connected_components",
+    "is_connected",
+    "cut_weight",
+    "normalized_cut",
+    "conductance",
+]

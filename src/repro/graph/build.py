@@ -1,0 +1,74 @@
+"""Affinity-graph construction: k-NN and epsilon-neighbourhood graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.kernels.functions import GaussianKernel, Kernel
+from repro.kernels.matrix import pairwise_sq_distances
+from repro.utils.validation import check_2d
+
+__all__ = ["knn_graph", "epsilon_graph"]
+
+
+def knn_graph(
+    X,
+    n_neighbors: int,
+    *,
+    kernel: Kernel | None = None,
+    sigma: float = 1.0,
+    symmetrize: str = "max",
+    block_size: int = 1024,
+) -> sp.csr_matrix:
+    """Symmetric k-NN affinity graph (the PSC construction, standalone).
+
+    Parameters
+    ----------
+    n_neighbors:
+        Neighbours retained per vertex (clipped to n-1).
+    kernel / sigma:
+        Edge-weight kernel (default Gaussian).
+    symmetrize:
+        ``"max"`` keeps an edge if either endpoint selected it; ``"min"``
+        (mutual k-NN) keeps it only if both did.
+    block_size:
+        Row-panel size bounding construction memory.
+    """
+    X = check_2d(X)
+    if n_neighbors < 1:
+        raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+    if symmetrize not in ("max", "min"):
+        raise ValueError(f"symmetrize must be 'max' or 'min', got {symmetrize!r}")
+    kern = kernel if kernel is not None else GaussianKernel(sigma)
+    n = X.shape[0]
+    t = min(n_neighbors, n - 1)
+    rows, cols, vals = [], [], []
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        d2 = pairwise_sq_distances(X[start:stop], X)
+        d2[np.arange(stop - start), np.arange(start, stop)] = np.inf
+        nbr = np.argpartition(d2, t - 1, axis=1)[:, :t]
+        sims = kern(X[start:stop], X)
+        rows.append(np.repeat(np.arange(start, stop), t))
+        cols.append(nbr.ravel())
+        vals.append(sims[np.arange(stop - start).repeat(t), nbr.ravel()])
+    S = sp.csr_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))), shape=(n, n)
+    )
+    return (S.maximum(S.T) if symmetrize == "max" else S.minimum(S.T)).tocsr()
+
+
+def epsilon_graph(
+    X, epsilon: float, *, kernel: Kernel | None = None, sigma: float = 1.0
+) -> sp.csr_matrix:
+    """Epsilon-neighbourhood graph: edges between points within distance epsilon."""
+    X = check_2d(X)
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    kern = kernel if kernel is not None else GaussianKernel(sigma)
+    d2 = pairwise_sq_distances(X)
+    mask = d2 <= epsilon**2
+    np.fill_diagonal(mask, False)
+    K = kern(X)
+    return sp.csr_matrix(np.where(mask, K, 0.0))

@@ -1,0 +1,16 @@
+"""Kernel methods consuming the DASC approximation.
+
+The paper's central claim is that the LSH kernel approximation "is
+independent of the subsequently used kernel-based machine learning
+algorithm" (Section 3.1) — spectral clustering is only the demonstration.
+This package makes that claim concrete inside the library: kernel PCA and
+kernel K-Means both accept either a full Gram matrix or a DASC
+:class:`~repro.core.approx_kernel.ApproximateKernel`, exploiting the block
+structure when given one.
+"""
+
+from repro.kernel_methods.kpca import KernelPCA, centre_gram
+from repro.kernel_methods.kernel_kmeans import KernelKMeans
+from repro.kernel_methods.svm import KernelSVM
+
+__all__ = ["KernelPCA", "centre_gram", "KernelKMeans", "KernelSVM"]

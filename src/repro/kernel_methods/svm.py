@@ -1,0 +1,157 @@
+"""Binary kernel SVM trained with simplified SMO.
+
+The paper motivates kernel scaling with SVM training ("the false negative
+rate of their image-based human detection algorithm is reduced by ~50% by
+only doubling the size of [the] training dataset for their SVM
+classifier"), and notes the bottleneck is the *training* kernel matrix.
+This classifier closes that loop: it trains from a precomputed Gram matrix,
+so it can consume either the exact kernel or a DASC approximation
+restricted to a bucket — and its existence demonstrates once more that the
+approximation layer is algorithm-agnostic.
+
+Simplified SMO (Platt's algorithm with random second-choice heuristic):
+adequate for the dataset sizes the test-suite and examples use; the point
+is the kernel interface, not state-of-the-art QP speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.functions import GaussianKernel, Kernel
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_2d, check_labels
+
+__all__ = ["KernelSVM"]
+
+
+class KernelSVM:
+    """Binary soft-margin SVM with a kernel, trained by simplified SMO.
+
+    Parameters
+    ----------
+    kernel / sigma:
+        Kernel object (default Gaussian with bandwidth ``sigma``).
+    C:
+        Soft-margin penalty.
+    tol:
+        KKT violation tolerance.
+    max_passes:
+        Consecutive full passes without an update before stopping.
+    seed:
+        Second-multiplier selection randomness.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    alphas_ : (n,) dual coefficients
+    bias_ : float
+    support_ : indices with non-zero alpha
+    """
+
+    def __init__(
+        self,
+        *,
+        kernel: Kernel | None = None,
+        sigma: float = 1.0,
+        C: float = 1.0,
+        tol: float = 1e-3,
+        max_passes: int = 5,
+        max_iter: int = 10_000,
+        seed=None,
+    ):
+        if C <= 0:
+            raise ValueError(f"C must be > 0, got {C}")
+        self.kernel = kernel if kernel is not None else GaussianKernel(sigma)
+        self.C = float(C)
+        self.tol = float(tol)
+        self.max_passes = int(max_passes)
+        self.max_iter = int(max_iter)
+        self.seed = seed
+        self.alphas_: np.ndarray | None = None
+        self.bias_: float = 0.0
+        self.support_: np.ndarray | None = None
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X, y) -> "KernelSVM":
+        """Train on labels in {-1, +1} (0/1 labels are remapped)."""
+        X = check_2d(X)
+        y = check_labels(y, n_samples=X.shape[0]).astype(np.float64)
+        classes = np.unique(y)
+        if classes.shape[0] != 2:
+            raise ValueError(f"binary SVM needs exactly 2 classes, got {classes}")
+        y = np.where(y == classes[0], -1.0, 1.0)
+        n = X.shape[0]
+        K = self.kernel(X)
+        rng = as_rng(self.seed)
+
+        alphas = np.zeros(n)
+        b = 0.0
+        passes = 0
+        iters = 0
+        while passes < self.max_passes and iters < self.max_iter:
+            changed = 0
+            for i in range(n):
+                iters += 1
+                err_i = (alphas * y) @ K[:, i] + b - y[i]
+                if (y[i] * err_i < -self.tol and alphas[i] < self.C) or (
+                    y[i] * err_i > self.tol and alphas[i] > 0
+                ):
+                    j = int(rng.integers(n - 1))
+                    if j >= i:
+                        j += 1
+                    err_j = (alphas * y) @ K[:, j] + b - y[j]
+                    ai_old, aj_old = alphas[i], alphas[j]
+                    if y[i] != y[j]:
+                        lo = max(0.0, aj_old - ai_old)
+                        hi = min(self.C, self.C + aj_old - ai_old)
+                    else:
+                        lo = max(0.0, ai_old + aj_old - self.C)
+                        hi = min(self.C, ai_old + aj_old)
+                    if lo == hi:
+                        continue
+                    eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+                    if eta >= 0:
+                        continue
+                    aj = np.clip(aj_old - y[j] * (err_i - err_j) / eta, lo, hi)
+                    if abs(aj - aj_old) < 1e-5:
+                        continue
+                    ai = ai_old + y[i] * y[j] * (aj_old - aj)
+                    alphas[i], alphas[j] = ai, aj
+                    b1 = b - err_i - y[i] * (ai - ai_old) * K[i, i] - y[j] * (aj - aj_old) * K[i, j]
+                    b2 = b - err_j - y[i] * (ai - ai_old) * K[i, j] - y[j] * (aj - aj_old) * K[j, j]
+                    if 0 < ai < self.C:
+                        b = b1
+                    elif 0 < aj < self.C:
+                        b = b2
+                    else:
+                        b = (b1 + b2) / 2.0
+                    changed += 1
+            passes = passes + 1 if changed == 0 else 0
+
+        self.alphas_ = alphas
+        self.bias_ = float(b)
+        self.support_ = np.nonzero(alphas > 1e-8)[0]
+        self._X = X
+        self._y = y
+        self._classes = classes
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Signed margin for each row of ``X``."""
+        if self.alphas_ is None:
+            raise RuntimeError("KernelSVM is not fitted; call fit() first")
+        X = check_2d(X)
+        sv = self.support_
+        K = self.kernel(X, self._X[sv])
+        return K @ (self.alphas_[sv] * self._y[sv]) + self.bias_
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted labels in the original label alphabet."""
+        margins = self.decision_function(X)
+        return np.where(margins < 0, self._classes[0], self._classes[1])
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        y = check_labels(y)
+        return float(np.mean(self.predict(X) == y))

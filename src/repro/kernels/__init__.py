@@ -1,0 +1,37 @@
+"""Kernel functions and Gram-matrix computation substrate.
+
+The DASC approximation is kernel-agnostic (Section 3.1): any positive
+semi-definite kernel can be plugged into the per-bucket similarity step.
+The paper's experiments use the Gaussian (RBF) kernel of Eq. (1).
+"""
+
+from repro.kernels.functions import (
+    Kernel,
+    GaussianKernel,
+    LaplacianKernel,
+    LinearKernel,
+    PolynomialKernel,
+    CosineKernel,
+    get_kernel,
+)
+from repro.kernels.matrix import (
+    pairwise_sq_distances,
+    gram_matrix,
+    gram_matrix_blocked,
+)
+from repro.kernels.bandwidth import median_heuristic, mean_knn_heuristic
+
+__all__ = [
+    "Kernel",
+    "GaussianKernel",
+    "LaplacianKernel",
+    "LinearKernel",
+    "PolynomialKernel",
+    "CosineKernel",
+    "get_kernel",
+    "pairwise_sq_distances",
+    "gram_matrix",
+    "gram_matrix_blocked",
+    "median_heuristic",
+    "mean_knn_heuristic",
+]

@@ -1,0 +1,98 @@
+"""Packed binary signatures and Hamming-distance primitives.
+
+Signatures are M-bit binary strings (M <= 64 in every configuration the paper
+uses: M = floor(log2 N / 2) - 1, so even N = 2^128 would fit). We pack each
+signature into one ``uint64`` so that
+
+* bucket grouping is a single :func:`numpy.unique` over integers, and
+* the paper's Eq. (6) merge test ``(A ^ B) & ((A ^ B) - 1) == 0`` — true
+  exactly when two signatures differ in at most one bit — is a vectorised
+  O(1) integer operation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "hamming_distance",
+    "differs_in_at_most_one_bit",
+    "signature_strings",
+]
+
+MAX_BITS = 64
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack an ``(n, M)`` 0/1 array into ``n`` uint64 signatures.
+
+    Bit ``j`` of the signature is the j-th column, so bit 0 is the first hash
+    function's output. M must be at most 64.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ValueError(f"bits must be 2-D, got shape {bits.shape}")
+    n, m = bits.shape
+    if m == 0 or m > MAX_BITS:
+        raise ValueError(f"number of bits must be in [1, {MAX_BITS}], got {m}")
+    if not np.isin(bits, (0, 1)).all():
+        raise ValueError("bits must contain only 0 and 1")
+    weights = (np.uint64(1) << np.arange(m, dtype=np.uint64))
+    return (bits.astype(np.uint64) * weights).sum(axis=1, dtype=np.uint64)
+
+
+def unpack_bits(signatures: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: expand uint64 signatures to an (n, M) 0/1 array."""
+    if n_bits <= 0 or n_bits > MAX_BITS:
+        raise ValueError(f"n_bits must be in [1, {MAX_BITS}], got {n_bits}")
+    sigs = np.asarray(signatures, dtype=np.uint64).reshape(-1, 1)
+    shifts = np.arange(n_bits, dtype=np.uint64)
+    return ((sigs >> shifts) & np.uint64(1)).astype(np.uint8)
+
+
+def popcount(values: np.ndarray) -> np.ndarray:
+    """Number of set bits per uint64 (vectorised SWAR popcount)."""
+    v = np.asarray(values, dtype=np.uint64).copy()
+    m1 = np.uint64(0x5555555555555555)
+    m2 = np.uint64(0x3333333333333333)
+    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    h01 = np.uint64(0x0101010101010101)
+    v -= (v >> np.uint64(1)) & m1
+    v = (v & m2) + ((v >> np.uint64(2)) & m2)
+    v = (v + (v >> np.uint64(4))) & m4
+    with np.errstate(over="ignore"):  # SWAR relies on modular uint64 multiply
+        return ((v * h01) >> np.uint64(56)).astype(np.int64)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise Hamming distance between packed signatures (broadcasting)."""
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    return popcount(np.bitwise_xor(a, b))
+
+
+def differs_in_at_most_one_bit(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The paper's Eq. (6) merge predicate, vectorised.
+
+    ``ANS = (A xor B) & (A xor B - 1)`` is zero iff ``A xor B`` has at most one
+    set bit, i.e. the signatures agree in at least ``M - 1`` positions. The
+    paper uses this with ``P = M - 1`` to decide which buckets to merge in O(1).
+    """
+    x = np.bitwise_xor(np.asarray(a, dtype=np.uint64), np.asarray(b, dtype=np.uint64))
+    # x - 1 underflows to 2^64 - 1 when x == 0; the AND is then 0, so the
+    # identical-signature case is correctly reported as mergeable.
+    with np.errstate(over="ignore"):
+        return (x & (x - np.uint64(1))) == np.uint64(0)
+
+
+def signature_strings(signatures: np.ndarray, n_bits: int) -> list[str]:
+    """Render packed signatures as M-character '0'/'1' strings (bit 0 first).
+
+    Matches the string signature built by the paper's Algorithm 1 mapper,
+    which appends one character per hash function.
+    """
+    bits = unpack_bits(signatures, n_bits)
+    return ["".join("1" if b else "0" for b in row) for row in bits]

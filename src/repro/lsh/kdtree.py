@@ -1,0 +1,119 @@
+"""k-d tree — the splitting principle behind the paper's threshold rule.
+
+Section 3.3 derives the hash hyperplane/threshold selection from the k-d
+tree: every node splits space with an axis-parallel hyperplane. This module
+implements a complete k-d tree (build, nearest neighbour, range query) both
+as a substrate in its own right and to validate that the hashing rule's
+splits behave like k-d tree splits (tests compare the two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_2d
+
+__all__ = ["KDNode", "KDTree"]
+
+
+@dataclass
+class KDNode:
+    """One k-d tree node: a splitting (dimension, value) and its subtrees."""
+
+    index: int  # index of the pivot point in the original data
+    dimension: int  # splitting axis
+    value: float  # splitting threshold (pivot's coordinate on the axis)
+    left: "KDNode | None" = None
+    right: "KDNode | None" = None
+
+
+class KDTree:
+    """Median-split k-d tree over an (n, d) point set.
+
+    The splitting axis cycles through dimensions ranked by span (widest
+    first), mirroring the paper's preference for high-span dimensions; the
+    split value is the median point, giving a balanced tree of depth
+    O(log n).
+    """
+
+    def __init__(self, X):
+        self.X = check_2d(X)
+        n, d = self.X.shape
+        spans = self.X.max(axis=0) - self.X.min(axis=0)
+        self._axis_order = np.argsort(spans)[::-1]
+        self.root = self._build(np.arange(n), depth=0)
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self, indices: np.ndarray, depth: int) -> KDNode | None:
+        if indices.size == 0:
+            return None
+        axis = int(self._axis_order[depth % self.X.shape[1]])
+        order = indices[np.argsort(self.X[indices, axis], kind="stable")]
+        mid = order.size // 2
+        pivot = int(order[mid])
+        node = KDNode(index=pivot, dimension=axis, value=float(self.X[pivot, axis]))
+        node.left = self._build(order[:mid], depth + 1)
+        node.right = self._build(order[mid + 1 :], depth + 1)
+        return node
+
+    # -- queries ---------------------------------------------------------------
+
+    def nearest(self, query) -> tuple[int, float]:
+        """Index and Euclidean distance of the nearest stored point to ``query``."""
+        q = np.asarray(query, dtype=np.float64).ravel()
+        if q.shape[0] != self.X.shape[1]:
+            raise ValueError(f"query has {q.shape[0]} dims, tree has {self.X.shape[1]}")
+        best = [-1, np.inf]
+
+        def visit(node: KDNode | None) -> None:
+            if node is None:
+                return
+            dist = float(np.linalg.norm(self.X[node.index] - q))
+            if dist < best[1]:
+                best[0], best[1] = node.index, dist
+            diff = q[node.dimension] - node.value
+            near, far = (node.left, node.right) if diff <= 0 else (node.right, node.left)
+            visit(near)
+            if abs(diff) < best[1]:
+                visit(far)
+
+        visit(self.root)
+        return best[0], best[1]
+
+    def range_query(self, lo, hi) -> list[int]:
+        """Indices of all points inside the axis-aligned box [lo, hi]."""
+        lo = np.asarray(lo, dtype=np.float64).ravel()
+        hi = np.asarray(hi, dtype=np.float64).ravel()
+        if lo.shape != hi.shape or lo.shape[0] != self.X.shape[1]:
+            raise ValueError("box bounds must match the tree dimensionality")
+        out: list[int] = []
+
+        def visit(node: KDNode | None) -> None:
+            if node is None:
+                return
+            point = self.X[node.index]
+            if np.all(point >= lo) and np.all(point <= hi):
+                out.append(node.index)
+            if lo[node.dimension] <= node.value:
+                visit(node.left)
+            if hi[node.dimension] >= node.value:
+                visit(node.right)
+
+        visit(self.root)
+        return sorted(out)
+
+    def depth(self) -> int:
+        """Height of the tree (0 for a single node)."""
+
+        def height(node: KDNode | None) -> int:
+            if node is None:
+                return -1
+            return 1 + max(height(node.left), height(node.right))
+
+        return height(self.root)
+
+    def __len__(self) -> int:
+        return self.X.shape[0]

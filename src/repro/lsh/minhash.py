@@ -1,0 +1,95 @@
+"""Min-wise independent permutation hashing (MinHash).
+
+The third LSH family the paper surveys (via Chum et al.'s near-duplicate
+image detection). MinHash targets Jaccard similarity over *sets*; for dense
+vectors we interpret the support (indices of non-zero / above-threshold
+features) as the set, which matches how tf-idf document vectors degrade to
+term sets. Each of the M hash functions is a random permutation of the
+universe, approximated by the usual universal-hash trick
+``h(x) = (a * x + b) mod p``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lsh.hamming import pack_bits
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_2d
+
+__all__ = ["MinHasher"]
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class MinHasher:
+    """M-function MinHash over vector supports.
+
+    Parameters
+    ----------
+    n_hashes:
+        Number of min-wise hash functions M.
+    activity_threshold:
+        A feature belongs to a vector's set when its value is strictly above
+        this threshold (0.0 keeps the classic non-zero support).
+    seed:
+        Randomness for the permutation parameters.
+    """
+
+    def __init__(self, n_hashes: int, *, activity_threshold: float = 0.0, seed=None):
+        if n_hashes < 1:
+            raise ValueError(f"n_hashes must be >= 1, got {n_hashes}")
+        self.n_hashes = int(n_hashes)
+        self.activity_threshold = float(activity_threshold)
+        rng = as_rng(seed)
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=self.n_hashes, dtype=np.int64)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=self.n_hashes, dtype=np.int64)
+
+    def _permuted(self, universe: np.ndarray) -> np.ndarray:
+        """(U, M) permuted ranks of each universe element under each hash."""
+        u = universe.astype(object)  # exact Python ints: (a*x+b) exceeds 64 bits
+        out = np.empty((len(universe), self.n_hashes), dtype=np.int64)
+        for j in range(self.n_hashes):
+            a = int(self._a[j])
+            b = int(self._b[j])
+            out[:, j] = [(a * int(x) + b) % _MERSENNE_PRIME for x in u]
+        return out
+
+    def hash_values(self, X) -> np.ndarray:
+        """(n, M) MinHash values; empty supports get the sentinel prime value."""
+        X = check_2d(X)
+        n, d = X.shape
+        ranks = self._permuted(np.arange(d))  # (d, M)
+        active = X > self.activity_threshold  # (n, d)
+        values = np.full((n, self.n_hashes), _MERSENNE_PRIME, dtype=np.int64)
+        for i in range(n):
+            support = np.nonzero(active[i])[0]
+            if support.size:
+                values[i] = ranks[support].min(axis=0)
+        return values
+
+    def hash_bits(self, X) -> np.ndarray:
+        """(n, M) 0/1 bits: parity of each MinHash value."""
+        return (self.hash_values(X) & 1).astype(np.uint8)
+
+    def hash(self, X) -> np.ndarray:
+        """Packed uint64 signatures from the parity bits."""
+        return pack_bits(self.hash_bits(X))
+
+    def fit(self, X) -> "MinHasher":
+        """No data-dependent state; present for interface parity."""
+        check_2d(X)
+        return self
+
+    def fit_hash(self, X) -> np.ndarray:
+        """Convenience: fit then hash the same data."""
+        return self.fit(X).hash(X)
+
+    @staticmethod
+    def jaccard_estimate(values_a: np.ndarray, values_b: np.ndarray) -> float:
+        """Estimate Jaccard similarity as the fraction of agreeing MinHashes."""
+        a = np.asarray(values_a)
+        b = np.asarray(values_b)
+        if a.shape != b.shape:
+            raise ValueError("signature shapes differ")
+        return float(np.mean(a == b))

@@ -1,0 +1,70 @@
+"""p-stable-distribution LSH (the E2LSH family of Datar et al.).
+
+One of the families the paper surveys (Section 3.2). Each hash is
+``floor((a . x + b) / w)`` with ``a`` drawn from a p-stable distribution
+(Gaussian for the Euclidean / p = 2 case) and ``b`` uniform in ``[0, w)``.
+Unlike the binary families this produces integer hashes; we reduce each to
+one bit (parity) when a binary signature is requested so that it composes
+with the same packed-signature bucketing machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lsh.hamming import pack_bits
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_2d, check_positive
+
+__all__ = ["StableDistributionHasher"]
+
+
+class StableDistributionHasher:
+    """M-function p-stable LSH for Euclidean distance.
+
+    Parameters
+    ----------
+    n_hashes:
+        Number of hash functions M.
+    bucket_width:
+        The quantisation width ``w``; larger widths collide more aggressively.
+    seed:
+        Randomness for the projection vectors and offsets.
+    """
+
+    def __init__(self, n_hashes: int, *, bucket_width: float = 1.0, seed=None):
+        if n_hashes < 1:
+            raise ValueError(f"n_hashes must be >= 1, got {n_hashes}")
+        check_positive(bucket_width, name="bucket_width")
+        self.n_hashes = int(n_hashes)
+        self.bucket_width = float(bucket_width)
+        self._rng = as_rng(seed)
+        self._a: np.ndarray | None = None
+        self._b: np.ndarray | None = None
+
+    def fit(self, X) -> "StableDistributionHasher":
+        """Draw Gaussian projection vectors and uniform offsets."""
+        X = check_2d(X)
+        d = X.shape[1]
+        self._a = self._rng.standard_normal((d, self.n_hashes))
+        self._b = self._rng.uniform(0.0, self.bucket_width, size=self.n_hashes)
+        return self
+
+    def hash_integers(self, X) -> np.ndarray:
+        """(n, M) integer hash values ``floor((a.x + b)/w)``."""
+        if self._a is None:
+            raise RuntimeError("hasher is not fitted; call fit() first")
+        X = check_2d(X)
+        return np.floor((X @ self._a + self._b) / self.bucket_width).astype(np.int64)
+
+    def hash_bits(self, X) -> np.ndarray:
+        """(n, M) 0/1 bits: parity of each integer hash."""
+        return (self.hash_integers(X) & 1).astype(np.uint8)
+
+    def hash(self, X) -> np.ndarray:
+        """Packed uint64 signatures from the parity bits."""
+        return pack_bits(self.hash_bits(X))
+
+    def fit_hash(self, X) -> np.ndarray:
+        """Convenience: fit then hash the same data."""
+        return self.fit(X).hash(X)

@@ -1,0 +1,51 @@
+"""MapReduce execution substrate (the Hadoop/EMR role in the paper).
+
+A deterministic, in-process MapReduce engine with the pieces the paper's
+deployment story needs:
+
+* :mod:`repro.mapreduce.types` — keyed records and job definitions,
+* :mod:`repro.mapreduce.engine` — map / combine / shuffle-sort / reduce,
+* :mod:`repro.mapreduce.hdfs` — a simulated distributed filesystem
+  (splits, replication, block placement),
+* :mod:`repro.mapreduce.cluster` — a simulated cluster: nodes with map and
+  reduce slots (Table 2's configuration), an LPT slot scheduler, and a
+  discrete cost model that yields simulated makespans (the elasticity
+  quantity of Table 3),
+* :mod:`repro.mapreduce.emr` — an Elastic-MapReduce-like service: an
+  S3-like object store plus job flows of steps,
+* :mod:`repro.mapreduce.counters` — Hadoop-style counters.
+"""
+
+from repro.mapreduce.types import KeyValue, MapTaskResult, JobSpec
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.hdfs import SimulatedHDFS, FileSplit
+from repro.mapreduce.cluster import (
+    NodeConfig,
+    EMR_NODE_CONFIG,
+    TABLE2_DEFAULTS,
+    SimulatedCluster,
+    TaskStats,
+)
+from repro.mapreduce.job import Job, JobFlow, JobFlowStep
+from repro.mapreduce.emr import S3Store, ElasticMapReduce
+
+__all__ = [
+    "KeyValue",
+    "MapTaskResult",
+    "JobSpec",
+    "Counters",
+    "MapReduceEngine",
+    "SimulatedHDFS",
+    "FileSplit",
+    "NodeConfig",
+    "EMR_NODE_CONFIG",
+    "TABLE2_DEFAULTS",
+    "SimulatedCluster",
+    "TaskStats",
+    "Job",
+    "JobFlow",
+    "JobFlowStep",
+    "S3Store",
+    "ElasticMapReduce",
+]

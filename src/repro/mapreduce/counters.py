@@ -1,0 +1,39 @@
+"""Hadoop-style counters: grouped named tallies visible to tasks and drivers."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["Counters"]
+
+
+class Counters:
+    """Nested ``group -> name -> int`` counters with Hadoop-like semantics."""
+
+    def __init__(self):
+        self._data: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+
+    def increment(self, group: str, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``group:name``."""
+        self._data[group][name] += amount
+
+    def value(self, group: str, name: str) -> int:
+        """Current value (0 if never incremented)."""
+        return self._data.get(group, {}).get(name, 0)
+
+    def group(self, group: str) -> dict[str, int]:
+        """Snapshot of one group."""
+        return dict(self._data.get(group, {}))
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another counter set into this one."""
+        for group, names in other._data.items():
+            for name, amount in names.items():
+                self._data[group][name] += amount
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """Full snapshot."""
+        return {g: dict(n) for g, n in self._data.items()}
+
+    def __repr__(self) -> str:
+        return f"Counters({self.as_dict()!r})"

@@ -1,0 +1,110 @@
+"""Elastic-MapReduce-like service: S3-like storage + on-demand clusters.
+
+Mirrors the paper's Section 5.1 workflow: upload inputs to S3, request a
+job flow on a chosen number of EC2 instances, run the steps, collect the
+results from S3, terminate the flow. Provisioning here is instant (the
+elasticity *effect* — makespan scaling with node count — is what the
+simulated cluster reproduces; EMR's spin-up latency is orthogonal to the
+paper's Table 3, which reports processing time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapreduce.cluster import EMR_NODE_CONFIG, NodeConfig, SimulatedCluster
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.job import JobFlow
+
+__all__ = ["S3Store", "ElasticMapReduce"]
+
+
+class S3Store:
+    """A flat object store: bucket/key -> object (any Python value)."""
+
+    def __init__(self):
+        self._objects: dict[str, object] = {}
+
+    def put(self, key: str, obj: object) -> None:
+        """Store an object (overwrite allowed — S3 semantics)."""
+        self._objects[key] = obj
+
+    def get(self, key: str) -> object:
+        """Fetch an object (KeyError if absent)."""
+        return self._objects[key]
+
+    def exists(self, key: str) -> bool:
+        """Whether the key is present."""
+        return key in self._objects
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        """All keys under a prefix, sorted."""
+        return sorted(k for k in self._objects if k.startswith(prefix))
+
+    def delete(self, key: str) -> None:
+        """Remove an object (KeyError if absent)."""
+        del self._objects[key]
+
+
+@dataclass
+class _ProvisionedFlow:
+    flow_id: str
+    flow: JobFlow
+    n_nodes: int
+    terminated: bool = False
+
+
+class ElasticMapReduce:
+    """The EMR front-end: provision job flows against shared S3 storage."""
+
+    def __init__(self, *, node_config: NodeConfig = EMR_NODE_CONFIG):
+        self.s3 = S3Store()
+        self.node_config = node_config
+        self._flows: dict[str, _ProvisionedFlow] = {}
+        self._next_id = 0
+
+    def create_job_flow(self, n_nodes: int, *, split_size: int = 1024) -> tuple[str, JobFlow]:
+        """Provision a cluster of ``n_nodes`` and return (flow_id, JobFlow)."""
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        cluster = SimulatedCluster(n_nodes, node=self.node_config)
+        flow = JobFlow(
+            engine=MapReduceEngine(cluster),
+            fs=SimulatedHDFS(
+                n_nodes, replication=self.node_config.replication, default_split_size=split_size
+            ),
+        )
+        flow_id = f"j-{self._next_id:06d}"
+        self._next_id += 1
+        self._flows[flow_id] = _ProvisionedFlow(flow_id=flow_id, flow=flow, n_nodes=n_nodes)
+        return flow_id, flow
+
+    def run_job_flow(self, flow_id: str) -> list:
+        """Execute all steps of a provisioned flow."""
+        entry = self._flow(flow_id)
+        if entry.terminated:
+            raise RuntimeError(f"job flow {flow_id} is terminated")
+        return entry.flow.run()
+
+    def terminate(self, flow_id: str) -> None:
+        """Release the flow's cluster (idempotent)."""
+        self._flow(flow_id).terminated = True
+
+    def flow_status(self, flow_id: str) -> dict:
+        """Status snapshot: node count, steps, completion, makespan."""
+        entry = self._flow(flow_id)
+        return {
+            "flow_id": entry.flow_id,
+            "n_nodes": entry.n_nodes,
+            "n_steps": len(entry.flow.steps),
+            "completed_steps": len(entry.flow.results),
+            "terminated": entry.terminated,
+            "makespan": entry.flow.makespan,
+        }
+
+    def _flow(self, flow_id: str) -> _ProvisionedFlow:
+        try:
+            return self._flows[flow_id]
+        except KeyError:
+            raise KeyError(f"unknown job flow {flow_id!r}") from None

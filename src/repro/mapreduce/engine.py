@@ -1,0 +1,199 @@
+"""The MapReduce engine: map -> combine -> partition -> sort -> reduce.
+
+Executes a :class:`~repro.mapreduce.types.JobSpec` over input splits with
+full Hadoop semantics (per-split map tasks, optional combiner, hash
+partitioning, per-partition key sort, one reduce call per key) while
+tracking, for every task, an abstract *cost* that the simulated cluster
+turns into a makespan. Execution itself is deterministic and in-process —
+the distribution being simulated is the scheduling, not the arithmetic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.mapreduce.cluster import SimulatedCluster, TaskStats
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.hdfs import FileSplit
+from repro.mapreduce.types import JobSpec, MapTaskResult
+
+__all__ = ["TaskContext", "JobResult", "MapReduceEngine"]
+
+
+@dataclass
+class TaskContext:
+    """What a running task sees: its job parameters and shared counters."""
+
+    job: JobSpec
+    counters: Counters
+    task_id: str = ""
+
+    def increment(self, group: str, name: str, amount: int = 1) -> None:
+        """Bump a counter from inside a mapper/reducer."""
+        self.counters.increment(group, name, amount)
+
+
+@dataclass
+class JobResult:
+    """Everything a driver needs from a finished job."""
+
+    job_name: str
+    output: list[tuple]  # reduce output records (or map output for map-only jobs)
+    counters: Counters
+    map_stats: TaskStats
+    reduce_stats: TaskStats
+    partitions: dict[int, list[tuple]] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Simulated wall-clock: map phase + reduce phase (reduce waits for all maps)."""
+        return self.map_stats.makespan + self.reduce_stats.makespan
+
+
+def _default_partitioner(key: Any, n_partitions: int) -> int:
+    return hash(key) % n_partitions
+
+
+def _sort_key(item: tuple) -> tuple:
+    key = item[0]
+    # Keys of mixed types sort by (type name, repr) to stay deterministic.
+    return (type(key).__name__, repr(key))
+
+
+class MapReduceEngine:
+    """Runs JobSpecs on a :class:`SimulatedCluster`.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster providing slots (default: one single-slot-ish
+        node, i.e. serial semantics).
+    """
+
+    def __init__(self, cluster: SimulatedCluster | None = None):
+        self.cluster = cluster if cluster is not None else SimulatedCluster(1)
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, job: JobSpec, splits: list[FileSplit] | list[list[tuple]]) -> JobResult:
+        """Execute ``job`` over ``splits`` and return outputs + statistics.
+
+        ``splits`` may be HDFS :class:`FileSplit` objects or plain lists of
+        ``(key, value)`` tuples (each list = one map task).
+        """
+        counters = Counters()
+        map_results = []
+        placements = []
+        for i, split in enumerate(splits):
+            if isinstance(split, FileSplit):
+                records = split.records
+                placements.append(split.preferred_nodes)
+            else:
+                records = split
+                placements.append(())
+            ctx = TaskContext(job=job, counters=counters, task_id=f"map-{i}")
+            map_results.append(self._run_map_task(job, records, ctx))
+        if any(placements):
+            # HDFS splits carry replica locations: schedule data-locally.
+            map_stats = self.cluster.schedule_with_locality(
+                [(r.cost, p) for r, p in zip(map_results, placements)], phase="map"
+            )
+        else:
+            map_stats = self.cluster.schedule([r.cost for r in map_results], phase="map")
+        counters.increment("job", "map_tasks", len(map_results))
+
+        if job.reducer is None:
+            output = [rec for r in map_results for rec in r.records]
+            return JobResult(
+                job_name=job.name,
+                output=output,
+                counters=counters,
+                map_stats=map_stats,
+                reduce_stats=TaskStats(n_tasks=0, total_cost=0.0, makespan=0.0),
+            )
+
+        partitions = self._shuffle(job, map_results, counters)
+        output: list[tuple] = []
+        reduce_costs = []
+        partition_outputs: dict[int, list[tuple]] = {}
+        for p in sorted(partitions):
+            ctx = TaskContext(job=job, counters=counters, task_id=f"reduce-{p}")
+            part_out, cost = self._run_reduce_task(job, partitions[p], ctx)
+            partition_outputs[p] = part_out
+            output.extend(part_out)
+            reduce_costs.append(cost)
+        reduce_stats = self.cluster.schedule(reduce_costs, phase="reduce")
+        counters.increment("job", "reduce_tasks", len(reduce_costs))
+        return JobResult(
+            job_name=job.name,
+            output=output,
+            counters=counters,
+            map_stats=map_stats,
+            reduce_stats=reduce_stats,
+            partitions=partition_outputs,
+        )
+
+    # -- phases ----------------------------------------------------------------
+
+    def _run_map_task(self, job: JobSpec, records, ctx: TaskContext) -> MapTaskResult:
+        emitted: list[tuple] = []
+        cost = 0.0
+        n_in = 0
+        for record in records:
+            key, value = record if isinstance(record, tuple) and len(record) == 2 else (None, record)
+            n_in += 1
+            for out in job.mapper(key, value, ctx):
+                emitted.append(tuple(out))
+            cost += job.map_cost(key, value) if job.map_cost else 1.0
+        ctx.counters.increment("map", "input_records", n_in)
+        ctx.counters.increment("map", "output_records", len(emitted))
+        if job.combiner is not None:
+            emitted = self._combine(job, emitted, ctx)
+        return MapTaskResult(records=emitted, n_input_records=n_in, cost=cost)
+
+    def _combine(self, job: JobSpec, records: list[tuple], ctx: TaskContext) -> list[tuple]:
+        grouped: dict[Any, list] = defaultdict(list)
+        for key, value in records:
+            grouped[key].append(value)
+        out: list[tuple] = []
+        for key in grouped:
+            out.extend(tuple(r) for r in job.combiner(key, grouped[key], ctx))
+        ctx.counters.increment("combine", "output_records", len(out))
+        return out
+
+    def _shuffle(self, job: JobSpec, map_results: list[MapTaskResult], counters: Counters):
+        partitioner = job.partitioner or _default_partitioner
+        partitions: dict[int, list[tuple]] = defaultdict(list)
+        n_shuffled = 0
+        for result in map_results:
+            for record in result.records:
+                p = partitioner(record[0], job.n_reducers)
+                if not 0 <= p < job.n_reducers:
+                    raise ValueError(f"partitioner returned {p}, valid range [0, {job.n_reducers})")
+                partitions[p].append(record)
+                n_shuffled += 1
+        counters.increment("shuffle", "records", n_shuffled)
+        if job.sort_keys:
+            for p in partitions:
+                partitions[p].sort(key=_sort_key)
+        return partitions
+
+    def _run_reduce_task(self, job: JobSpec, records: list[tuple], ctx: TaskContext):
+        grouped: dict[Any, list] = defaultdict(list)
+        order: list = []
+        for key, value in records:
+            if key not in grouped:
+                order.append(key)
+            grouped[key].append(value)
+        out: list[tuple] = []
+        cost = 0.0
+        for key in order:
+            values = grouped[key]
+            for rec in job.reducer(key, values, ctx):
+                out.append(tuple(rec))
+            cost += job.reduce_cost(key, values) if job.reduce_cost else float(len(values))
+        ctx.counters.increment("reduce", "input_groups", len(order))
+        ctx.counters.increment("reduce", "output_records", len(out))
+        return out, cost

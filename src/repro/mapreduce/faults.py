@@ -1,0 +1,117 @@
+"""Fault injection and task re-execution.
+
+Hadoop's reliability story — the reason the paper can run 78-hour jobs on
+rented nodes — is that any failed task is simply re-executed (same input
+split, same deterministic function), up to ``mapred.map.max.attempts``
+times. This module adds that behaviour to the simulated engine:
+
+* :class:`FaultPolicy` — deterministic pseudo-random task failures with a
+  configurable rate and per-task attempt cap,
+* :class:`FaultyEngine` — a :class:`~repro.mapreduce.engine.MapReduceEngine`
+  that consults the policy before each task attempt, re-executes failures,
+  charges every attempt's cost to the simulated clock, and counts attempts
+  in the job counters.
+
+Failures are injected *between* task attempts (the task's work is lost and
+redone), which models the dominant Hadoop failure mode — lost containers /
+preempted spot nodes — without modelling partial output corruption (Hadoop
+discards partial task output atomically, so it is invisible to jobs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.engine import MapReduceEngine, MapTaskResult, TaskContext
+from repro.mapreduce.types import JobSpec
+from repro.utils.rng import as_rng
+
+__all__ = ["FaultPolicy", "FaultyEngine", "TaskFailedError"]
+
+
+class TaskFailedError(RuntimeError):
+    """Raised when a task exhausts its attempts."""
+
+
+@dataclass
+class FaultPolicy:
+    """Deterministic failure schedule.
+
+    Parameters
+    ----------
+    failure_rate:
+        Probability that any given task *attempt* fails.
+    max_attempts:
+        Attempts per task before the job is failed (Hadoop default 4).
+    seed:
+        Randomness for the failure draws (deterministic per engine run).
+    """
+
+    failure_rate: float = 0.0
+    max_attempts: int = 4
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1), got {self.failure_rate}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def make_oracle(self):
+        """A fresh callable ``() -> bool`` deciding whether an attempt fails."""
+        rng = as_rng(self.seed)
+        rate = self.failure_rate
+
+        def attempt_fails() -> bool:
+            return bool(rng.random() < rate) if rate > 0 else False
+
+        return attempt_fails
+
+
+class FaultyEngine(MapReduceEngine):
+    """MapReduce engine with task-failure injection and re-execution.
+
+    Because tasks are deterministic functions of their input split, re-
+    execution yields byte-identical results, so any job's *output* under a
+    FaultyEngine equals its output under the plain engine — only the cost
+    accounting (attempts, simulated time) differs. The test-suite asserts
+    exactly this equivalence.
+    """
+
+    def __init__(self, cluster: SimulatedCluster | None = None, *, policy: FaultPolicy | None = None):
+        super().__init__(cluster)
+        self.policy = policy if policy is not None else FaultPolicy()
+        self._attempt_fails = self.policy.make_oracle()
+
+    def _run_map_task(self, job: JobSpec, records, ctx: TaskContext) -> MapTaskResult:
+        wasted_cost = 0.0
+        for attempt in range(1, self.policy.max_attempts + 1):
+            result = super()._run_map_task(job, records, ctx)
+            if not self._attempt_fails():
+                result.cost += wasted_cost  # lost attempts still burned slots
+                if attempt > 1:
+                    ctx.counters.increment("faults", "map_retries", attempt - 1)
+                return result
+            # Attempt failed after doing the work: discard output, retry.
+            wasted_cost += result.cost
+            ctx.counters.increment("faults", "map_failures")
+        raise TaskFailedError(
+            f"map task {ctx.task_id} failed {self.policy.max_attempts} attempts"
+        )
+
+    def _run_reduce_task(self, job: JobSpec, records, ctx: TaskContext):
+        wasted_cost = 0.0
+        for attempt in range(1, self.policy.max_attempts + 1):
+            out, cost = super()._run_reduce_task(job, records, ctx)
+            if not self._attempt_fails():
+                if attempt > 1:
+                    ctx.counters.increment("faults", "reduce_retries", attempt - 1)
+                return out, cost + wasted_cost
+            wasted_cost += cost
+            ctx.counters.increment("faults", "reduce_failures")
+        raise TaskFailedError(
+            f"reduce task {ctx.task_id} failed {self.policy.max_attempts} attempts"
+        )

@@ -1,0 +1,121 @@
+"""Simulated HDFS: files as record lists, split into blocks, replicated.
+
+The engine reads its input as :class:`FileSplit` objects — the unit of map
+parallelism, exactly as in Hadoop. Replication places each split on
+``replication`` distinct nodes round-robin (Table 2's DFS replication ratio
+is 3), and the scheduler can ask where a split lives to account for data
+locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FileSplit", "SimulatedHDFS"]
+
+
+@dataclass(frozen=True)
+class FileSplit:
+    """One input split: a contiguous slice of a file's records.
+
+    ``preferred_nodes`` carries the replica placements so a locality-aware
+    scheduler can run the map task where its data lives (empty = anywhere).
+    """
+
+    path: str
+    index: int
+    records: tuple
+    preferred_nodes: tuple = ()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class _StoredFile:
+    records: list
+    split_size: int
+    placements: dict[int, tuple[int, ...]] = field(default_factory=dict)  # split -> node ids
+
+
+class SimulatedHDFS:
+    """An in-memory distributed filesystem.
+
+    Parameters
+    ----------
+    n_nodes:
+        Cluster size used for block placement.
+    replication:
+        Copies per split (Table 2 uses 3); clipped to ``n_nodes``.
+    default_split_size:
+        Records per split when a write does not specify one.
+    """
+
+    def __init__(self, n_nodes: int = 1, *, replication: int = 3, default_split_size: int = 1024):
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        if default_split_size < 1:
+            raise ValueError(f"default_split_size must be >= 1, got {default_split_size}")
+        self.n_nodes = int(n_nodes)
+        self.replication = min(int(replication), self.n_nodes)
+        self.default_split_size = int(default_split_size)
+        self._files: dict[str, _StoredFile] = {}
+        self._next_node = 0
+
+    # -- writes ------------------------------------------------------------
+
+    def write(self, path: str, records, *, split_size: int | None = None) -> None:
+        """Store ``records`` under ``path``, splitting and placing blocks."""
+        if path in self._files:
+            raise FileExistsError(f"{path!r} already exists (HDFS files are immutable)")
+        size = split_size or self.default_split_size
+        if size < 1:
+            raise ValueError(f"split_size must be >= 1, got {size}")
+        stored = _StoredFile(records=list(records), split_size=size)
+        n_splits = max(1, -(-len(stored.records) // size))
+        for s in range(n_splits):
+            nodes = tuple(
+                (self._next_node + r) % self.n_nodes for r in range(self.replication)
+            )
+            stored.placements[s] = nodes
+            self._next_node = (self._next_node + 1) % self.n_nodes
+        self._files[path] = stored
+
+    def delete(self, path: str) -> None:
+        """Remove a file (KeyError if absent)."""
+        del self._files[path]
+
+    # -- reads -------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` is stored."""
+        return path in self._files
+
+    def list_files(self) -> list[str]:
+        """All stored paths, sorted."""
+        return sorted(self._files)
+
+    def read(self, path: str) -> list:
+        """All records of a file, in write order."""
+        return list(self._files[path].records)
+
+    def splits(self, path: str) -> list[FileSplit]:
+        """The file's input splits (the unit of map parallelism)."""
+        stored = self._files[path]
+        size = stored.split_size
+        out = []
+        for s in sorted(stored.placements):
+            chunk = tuple(stored.records[s * size : (s + 1) * size])
+            out.append(
+                FileSplit(
+                    path=path, index=s, records=chunk,
+                    preferred_nodes=stored.placements[s],
+                )
+            )
+        return out
+
+    def locations(self, path: str, split_index: int) -> tuple[int, ...]:
+        """Node ids holding a replica of the given split."""
+        return self._files[path].placements[split_index]

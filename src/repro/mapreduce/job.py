@@ -1,0 +1,91 @@
+"""Jobs and job flows (the EMR processing-step abstraction of Section 5.1).
+
+A :class:`Job` binds a JobSpec to input/output paths on a filesystem; a
+:class:`JobFlow` is the EMR notion of an ordered list of steps executed on a
+provisioned cluster ("a collection of processing steps that EMR runs on a
+specified dataset using a set of Amazon EC2 instances").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.mapreduce.engine import JobResult, MapReduceEngine
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.types import JobSpec
+
+__all__ = ["Job", "JobFlowStep", "JobFlow"]
+
+
+@dataclass
+class Job:
+    """A JobSpec bound to filesystem input/output paths."""
+
+    spec: JobSpec
+    input_path: str
+    output_path: str
+
+    def run(self, engine: MapReduceEngine, fs: SimulatedHDFS) -> JobResult:
+        """Read splits from ``input_path``, run, write output to ``output_path``."""
+        splits = fs.splits(self.input_path)
+        result = engine.run(self.spec, splits)
+        fs.write(self.output_path, result.output)
+        return result
+
+
+@dataclass
+class JobFlowStep:
+    """One step of a job flow: either a MapReduce job or a driver callable."""
+
+    name: str
+    job: Job | None = None
+    action: Callable[["JobFlow"], object] | None = None
+
+    def __post_init__(self):
+        if (self.job is None) == (self.action is None):
+            raise ValueError("exactly one of job/action must be provided")
+
+
+@dataclass
+class JobFlow:
+    """An ordered list of steps over a shared engine + filesystem.
+
+    Attributes
+    ----------
+    results:
+        Per-step outcome: :class:`JobResult` for job steps, the action's
+        return value for action steps.
+    makespan:
+        Total simulated wall-clock across all executed job steps.
+    """
+
+    engine: MapReduceEngine
+    fs: SimulatedHDFS
+    steps: list[JobFlowStep] = field(default_factory=list)
+    results: list = field(default_factory=list)
+
+    def add_job(self, spec: JobSpec, input_path: str, output_path: str) -> "JobFlow":
+        """Append a MapReduce step."""
+        self.steps.append(JobFlowStep(name=spec.name, job=Job(spec, input_path, output_path)))
+        return self
+
+    def add_action(self, name: str, action: Callable[["JobFlow"], object]) -> "JobFlow":
+        """Append a driver-side step (e.g. a merge running between jobs)."""
+        self.steps.append(JobFlowStep(name=name, action=action))
+        return self
+
+    def run(self) -> list:
+        """Execute all steps in order; stores and returns per-step results."""
+        self.results = []
+        for step in self.steps:
+            if step.job is not None:
+                self.results.append(step.job.run(self.engine, self.fs))
+            else:
+                self.results.append(step.action(self))
+        return self.results
+
+    @property
+    def makespan(self) -> float:
+        """Sum of simulated makespans over completed job steps."""
+        return sum(r.makespan for r in self.results if isinstance(r, JobResult))

@@ -1,0 +1,26 @@
+"""Evaluation metrics used in the paper's Section 5.3.
+
+* :func:`clustering_accuracy` — fraction of correctly clustered points after
+  optimally matching predicted clusters to ground-truth classes,
+* :func:`davies_bouldin_index` — Eq. (20),
+* :func:`average_squared_error` — Eq. (21),
+* :func:`frobenius_norm` / :func:`fnorm_ratio` — Eqs. (22)-(24),
+* :func:`normalized_mutual_info` — a matching-free accuracy complement.
+"""
+
+from repro.metrics.accuracy import clustering_accuracy, contingency_matrix, hungarian_match
+from repro.metrics.dbi import davies_bouldin_index
+from repro.metrics.ase import average_squared_error
+from repro.metrics.fnorm import frobenius_norm, fnorm_ratio
+from repro.metrics.nmi import normalized_mutual_info
+
+__all__ = [
+    "clustering_accuracy",
+    "contingency_matrix",
+    "hungarian_match",
+    "davies_bouldin_index",
+    "average_squared_error",
+    "frobenius_norm",
+    "fnorm_ratio",
+    "normalized_mutual_info",
+]

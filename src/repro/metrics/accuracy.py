@@ -1,0 +1,54 @@
+"""Clustering accuracy against ground truth (Figure 3 / Table 3 metric).
+
+The paper measures "the ratio of correctly clustered points to the total
+number of points" relative to Wikipedia's categorisation. Because cluster
+ids are arbitrary, predicted clusters must first be matched to ground-truth
+classes; the standard optimal matching maximises the total overlap via the
+Hungarian algorithm on the contingency matrix (rectangular shapes allowed —
+DASC can emit more clusters than there are classes, and unmatched clusters
+simply contribute no correct points).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.utils.validation import check_labels
+
+__all__ = ["contingency_matrix", "hungarian_match", "clustering_accuracy"]
+
+
+def contingency_matrix(labels_true, labels_pred) -> np.ndarray:
+    """(n_classes, n_clusters) count matrix of co-occurring assignments."""
+    t = check_labels(labels_true, name="labels_true")
+    p = check_labels(labels_pred, n_samples=t.shape[0], name="labels_pred")
+    _, t_idx = np.unique(t, return_inverse=True)
+    _, p_idx = np.unique(p, return_inverse=True)
+    n_classes = t_idx.max() + 1
+    n_clusters = p_idx.max() + 1
+    table = np.zeros((n_classes, n_clusters), dtype=np.int64)
+    np.add.at(table, (t_idx, p_idx), 1)
+    return table
+
+
+def hungarian_match(labels_true, labels_pred) -> tuple[np.ndarray, np.ndarray]:
+    """Optimal class<->cluster matching maximising total overlap.
+
+    Returns ``(row_ind, col_ind)`` into the contingency matrix; only
+    ``min(n_classes, n_clusters)`` pairs are produced.
+    """
+    table = contingency_matrix(labels_true, labels_pred)
+    rows, cols = linear_sum_assignment(-table)
+    return rows, cols
+
+
+def clustering_accuracy(labels_true, labels_pred) -> float:
+    """Fraction of points in optimally matched (class, cluster) pairs.
+
+    1.0 iff the prediction is a relabelling of the ground truth. Splitting a
+    class across several clusters loses the mass of all but the matched one.
+    """
+    table = contingency_matrix(labels_true, labels_pred)
+    rows, cols = linear_sum_assignment(-table)
+    return float(table[rows, cols].sum() / table.sum())

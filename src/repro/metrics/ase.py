@@ -1,0 +1,26 @@
+"""Average squared error (Eq. 21) — the classic k-means criterion.
+
+``ASE = (1/N) sum_k e_k^2`` with ``e_k^2`` the sum of squared Euclidean
+distances between each member of cluster k and its centroid. Lower values
+mean tighter clusters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_2d, check_labels
+
+__all__ = ["average_squared_error"]
+
+
+def average_squared_error(X, labels) -> float:
+    """Eq. (21): mean within-cluster squared distance to the centroid."""
+    X = check_2d(X)
+    labels = check_labels(labels, n_samples=X.shape[0])
+    total = 0.0
+    for lab in np.unique(labels):
+        members = X[labels == lab]
+        centroid = members.mean(axis=0)
+        total += float(((members - centroid) ** 2).sum())
+    return total / X.shape[0]

@@ -1,0 +1,45 @@
+"""Davies-Bouldin index (Eq. 20) — lower is better.
+
+``DBI = (1/C) sum_i max_{j != i} (sigma_i + sigma_j) / d(c_i, c_j)`` where
+``c_x`` is the centroid of cluster x, ``sigma_x`` the average distance of
+its members to the centroid, and ``d`` the centroid distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.matrix import pairwise_sq_distances
+from repro.utils.validation import check_2d, check_labels
+
+__all__ = ["davies_bouldin_index"]
+
+
+def davies_bouldin_index(X, labels) -> float:
+    """Eq. (20) on the raw feature vectors.
+
+    Empty clusters are impossible (labels define membership); single-point
+    clusters have sigma 0. Requires at least two distinct clusters.
+    Coincident centroids (zero separation) make the ratio infinite, which is
+    reported faithfully rather than masked.
+    """
+    X = check_2d(X)
+    labels = check_labels(labels, n_samples=X.shape[0])
+    unique = np.unique(labels)
+    c = unique.shape[0]
+    if c < 2:
+        raise ValueError("DBI requires at least two clusters")
+
+    centroids = np.empty((c, X.shape[1]))
+    scatters = np.empty(c)
+    for i, lab in enumerate(unique):
+        members = X[labels == lab]
+        centroids[i] = members.mean(axis=0)
+        scatters[i] = np.mean(np.linalg.norm(members - centroids[i], axis=1))
+
+    sep = np.sqrt(pairwise_sq_distances(centroids))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = (scatters[:, None] + scatters[None, :]) / sep
+    np.fill_diagonal(ratio, -np.inf)
+    ratio = np.where(np.isnan(ratio), np.inf, ratio)  # 0/0: coincident tight clusters
+    return float(np.mean(ratio.max(axis=1)))

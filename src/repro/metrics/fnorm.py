@@ -1,0 +1,38 @@
+"""Frobenius norm and the approximation-quality ratio (Eqs. 22-24, Figure 5).
+
+``Fnorm(A) = sqrt(sum |a_ij|^2)``, invariant under unitary transforms, so it
+equals the root-sum-of-squares of singular values (Eq. 24). The paper's
+Figure-5 metric is ``Fnorm(approx) / Fnorm(full)``: closer to 1 means the
+block-diagonal approximation keeps more of the Gram matrix's spectral mass.
+For any entry-subset approximation of a real matrix the ratio is in [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.approx_kernel import ApproximateKernel
+
+__all__ = ["frobenius_norm", "fnorm_ratio"]
+
+
+def frobenius_norm(A) -> float:
+    """Eq. (22) for dense arrays, sparse matrices, or ApproximateKernel objects."""
+    if isinstance(A, ApproximateKernel):
+        return A.frobenius_norm()
+    if sp.issparse(A):
+        return float(np.sqrt(A.multiply(A).sum()))
+    A = np.asarray(A, dtype=np.float64)
+    return float(np.sqrt(np.einsum("ij,ij->", A, A))) if A.ndim == 2 else float(np.linalg.norm(A))
+
+
+def fnorm_ratio(approx, full) -> float:
+    """``Fnorm(approx) / Fnorm(full)`` (Figure 5's y-axis).
+
+    Raises on a zero-norm full matrix (the ratio is undefined).
+    """
+    denom = frobenius_norm(full)
+    if denom == 0:
+        raise ValueError("full matrix has zero Frobenius norm")
+    return frobenius_norm(approx) / denom

@@ -1,0 +1,273 @@
+"""Discrete hidden Markov models (the third algorithm in the paper's Mahout list).
+
+Section 2: "the open-source Apache Mahout library implements important
+machine learning algorithms such as K-Means, Singular Value Decomposition
+and Hidden Markov Models using the MapReduce model". K-Means and SVD live
+in this package already; this module completes the trio with a discrete
+HMM: scaled forward/backward, Viterbi decoding, and Baum-Welch training.
+Training over multiple sequences accumulates sufficient statistics
+per-sequence — the exact structure Mahout's MapReduce trainer distributes
+(map = per-sequence E-step, reduce = pooled M-step), exposed here via
+:meth:`HiddenMarkovModel.estep` so a MapReduce wrapper is a few lines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["HiddenMarkovModel", "fit_hmm_mapreduce"]
+
+_EPS = 1e-300
+
+
+class HiddenMarkovModel:
+    """Discrete-emission HMM.
+
+    Parameters
+    ----------
+    n_states / n_symbols:
+        Sizes of the hidden and observed alphabets.
+    seed:
+        Random initialisation of the probability tables (rows normalised).
+
+    Attributes
+    ----------
+    start_ : (S,) initial distribution
+    transition_ : (S, S) row-stochastic transition matrix
+    emission_ : (S, V) row-stochastic emission matrix
+    """
+
+    def __init__(self, n_states: int, n_symbols: int, *, seed=None):
+        if n_states < 1 or n_symbols < 1:
+            raise ValueError("n_states and n_symbols must be >= 1")
+        self.n_states = int(n_states)
+        self.n_symbols = int(n_symbols)
+        rng = as_rng(seed)
+        self.start_ = self._random_stochastic(rng, (self.n_states,))
+        self.transition_ = self._random_stochastic(rng, (self.n_states, self.n_states))
+        self.emission_ = self._random_stochastic(rng, (self.n_states, self.n_symbols))
+
+    @staticmethod
+    def _random_stochastic(rng, shape) -> np.ndarray:
+        m = rng.uniform(0.5, 1.5, size=shape)
+        return m / m.sum(axis=-1, keepdims=True)
+
+    def set_parameters(self, start, transition, emission) -> "HiddenMarkovModel":
+        """Install explicit probability tables (validated to be stochastic)."""
+        start = np.asarray(start, dtype=np.float64)
+        transition = np.asarray(transition, dtype=np.float64)
+        emission = np.asarray(emission, dtype=np.float64)
+        if start.shape != (self.n_states,):
+            raise ValueError(f"start must have shape ({self.n_states},)")
+        if transition.shape != (self.n_states, self.n_states):
+            raise ValueError("transition shape mismatch")
+        if emission.shape != (self.n_states, self.n_symbols):
+            raise ValueError("emission shape mismatch")
+        for name, table in (("start", start[None, :]), ("transition", transition), ("emission", emission)):
+            if (table < 0).any() or not np.allclose(table.sum(axis=-1), 1.0, atol=1e-8):
+                raise ValueError(f"{name} rows must be probability distributions")
+        self.start_, self.transition_, self.emission_ = start, transition, emission
+        return self
+
+    # -- inference -------------------------------------------------------------
+
+    def _check_obs(self, obs) -> np.ndarray:
+        obs = np.asarray(obs, dtype=np.int64)
+        if obs.ndim != 1 or obs.size == 0:
+            raise ValueError("observations must be a non-empty 1-D integer sequence")
+        if obs.min() < 0 or obs.max() >= self.n_symbols:
+            raise ValueError(f"symbols must be in [0, {self.n_symbols})")
+        return obs
+
+    def _forward(self, obs: np.ndarray):
+        """Scaled forward pass; returns (alpha, scales)."""
+        T = obs.shape[0]
+        alpha = np.zeros((T, self.n_states))
+        scales = np.zeros(T)
+        alpha[0] = self.start_ * self.emission_[:, obs[0]]
+        scales[0] = alpha[0].sum() + _EPS
+        alpha[0] /= scales[0]
+        for t in range(1, T):
+            alpha[t] = (alpha[t - 1] @ self.transition_) * self.emission_[:, obs[t]]
+            scales[t] = alpha[t].sum() + _EPS
+            alpha[t] /= scales[t]
+        return alpha, scales
+
+    def _backward(self, obs: np.ndarray, scales: np.ndarray) -> np.ndarray:
+        T = obs.shape[0]
+        beta = np.zeros((T, self.n_states))
+        beta[-1] = 1.0
+        for t in range(T - 2, -1, -1):
+            beta[t] = self.transition_ @ (self.emission_[:, obs[t + 1]] * beta[t + 1])
+            beta[t] /= scales[t + 1]
+        return beta
+
+    def log_likelihood(self, obs) -> float:
+        """Log P(observations | model)."""
+        obs = self._check_obs(obs)
+        _, scales = self._forward(obs)
+        return float(np.log(scales).sum())
+
+    def viterbi(self, obs) -> np.ndarray:
+        """Most probable hidden-state path (log-space Viterbi)."""
+        obs = self._check_obs(obs)
+        T = obs.shape[0]
+        with np.errstate(divide="ignore"):
+            log_a = np.log(self.transition_ + _EPS)
+            log_e = np.log(self.emission_ + _EPS)
+            log_pi = np.log(self.start_ + _EPS)
+        delta = log_pi + log_e[:, obs[0]]
+        psi = np.zeros((T, self.n_states), dtype=np.int64)
+        for t in range(1, T):
+            scores = delta[:, None] + log_a
+            psi[t] = np.argmax(scores, axis=0)
+            delta = scores[psi[t], np.arange(self.n_states)] + log_e[:, obs[t]]
+        path = np.zeros(T, dtype=np.int64)
+        path[-1] = int(np.argmax(delta))
+        for t in range(T - 2, -1, -1):
+            path[t] = psi[t + 1][path[t + 1]]
+        return path
+
+    # -- training ----------------------------------------------------------------
+
+    def estep(self, obs) -> dict:
+        """Per-sequence sufficient statistics (the map-side of MR training).
+
+        Returns start counts, expected transition counts, expected emission
+        counts, and the sequence log-likelihood.
+        """
+        obs = self._check_obs(obs)
+        T = obs.shape[0]
+        alpha, scales = self._forward(obs)
+        beta = self._backward(obs, scales)
+        gamma = alpha * beta
+        gamma /= gamma.sum(axis=1, keepdims=True) + _EPS
+
+        xi_sum = np.zeros((self.n_states, self.n_states))
+        for t in range(T - 1):
+            xi = (
+                alpha[t][:, None]
+                * self.transition_
+                * (self.emission_[:, obs[t + 1]] * beta[t + 1])[None, :]
+            )
+            xi_sum += xi / (xi.sum() + _EPS)
+
+        emit = np.zeros((self.n_states, self.n_symbols))
+        np.add.at(emit.T, obs, gamma)
+        return {
+            "start": gamma[0],
+            "transitions": xi_sum,
+            "emissions": emit,
+            "log_likelihood": float(np.log(scales).sum()),
+        }
+
+    @staticmethod
+    def _pool(stats_list: list[dict]) -> dict:
+        pooled = {
+            "start": sum(s["start"] for s in stats_list),
+            "transitions": sum(s["transitions"] for s in stats_list),
+            "emissions": sum(s["emissions"] for s in stats_list),
+            "log_likelihood": sum(s["log_likelihood"] for s in stats_list),
+        }
+        return pooled
+
+    def mstep(self, pooled: dict) -> None:
+        """Reestimate the tables from pooled statistics (the reduce side)."""
+        self.start_ = pooled["start"] / (pooled["start"].sum() + _EPS)
+        trans = pooled["transitions"] + _EPS
+        self.transition_ = trans / trans.sum(axis=1, keepdims=True)
+        emit = pooled["emissions"] + _EPS
+        self.emission_ = emit / emit.sum(axis=1, keepdims=True)
+
+    def fit(self, sequences, *, max_iter: int = 50, tol: float = 1e-4) -> "HiddenMarkovModel":
+        """Baum-Welch over a list of observation sequences.
+
+        Stops when the total log-likelihood improves by less than ``tol``.
+        """
+        if not sequences:
+            raise ValueError("need at least one sequence")
+        previous = -np.inf
+        for _ in range(max_iter):
+            stats = [self.estep(obs) for obs in sequences]
+            pooled = self._pool(stats)
+            self.mstep(pooled)
+            ll = pooled["log_likelihood"]
+            if ll - previous < tol:
+                break
+            previous = ll
+        return self
+
+    def sample(self, length: int, *, seed=None) -> tuple[np.ndarray, np.ndarray]:
+        """Draw (states, observations) of the given length from the model."""
+        if length < 1:
+            raise ValueError(f"length must be >= 1, got {length}")
+        rng = as_rng(seed)
+        states = np.zeros(length, dtype=np.int64)
+        obs = np.zeros(length, dtype=np.int64)
+        states[0] = rng.choice(self.n_states, p=self.start_)
+        obs[0] = rng.choice(self.n_symbols, p=self.emission_[states[0]])
+        for t in range(1, length):
+            states[t] = rng.choice(self.n_states, p=self.transition_[states[t - 1]])
+            obs[t] = rng.choice(self.n_symbols, p=self.emission_[states[t]])
+        return states, obs
+
+
+def fit_hmm_mapreduce(
+    model: HiddenMarkovModel,
+    sequences,
+    engine,
+    *,
+    max_iter: int = 50,
+    tol: float = 1e-4,
+):
+    """Baum-Welch with MapReduce E-steps — "HMM using the MapReduce model".
+
+    Each iteration is one job: the mapper runs :meth:`HiddenMarkovModel.estep`
+    on its sequence, a single reducer pools the sufficient statistics, and
+    the driver applies :meth:`HiddenMarkovModel.mstep`. Numerically identical
+    to :meth:`HiddenMarkovModel.fit` (the tests assert it).
+
+    Parameters
+    ----------
+    model:
+        The model to train in place.
+    sequences:
+        List of integer observation sequences.
+    engine:
+        A :class:`repro.mapreduce.engine.MapReduceEngine`.
+
+    Returns
+    -------
+    The trained ``model`` (same object), for chaining.
+    """
+    from repro.mapreduce.types import JobSpec
+
+    if not sequences:
+        raise ValueError("need at least one sequence")
+
+    def estep_mapper(seq_id, obs, ctx):
+        yield (0, ctx.job.params["model"].estep(obs))
+
+    def pool_reducer(key, stats_list, ctx):
+        yield (key, HiddenMarkovModel._pool(stats_list))
+
+    splits = [[(i, np.asarray(obs, dtype=np.int64))] for i, obs in enumerate(sequences)]
+    previous = -np.inf
+    for iteration in range(max_iter):
+        job = JobSpec(
+            name=f"hmm-baum-welch-{iteration}",
+            mapper=estep_mapper,
+            reducer=pool_reducer,
+            n_reducers=1,
+            partitioner=lambda key, n: 0,
+            params={"model": model},
+        )
+        result = engine.run(job, splits)
+        pooled = result.output[0][1]
+        model.mstep(pooled)
+        if pooled["log_likelihood"] - previous < tol:
+            break
+        previous = pooled["log_likelihood"]
+    return model

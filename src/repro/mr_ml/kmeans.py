@@ -1,0 +1,162 @@
+"""Distributed K-Means on MapReduce (the Mahout K-Means job).
+
+One Lloyd iteration is one MapReduce job:
+
+* **map** — each input ``(index, vector)`` is assigned to the nearest of
+  the broadcast centroids; emit ``(centroid_id, (vector_sum, count))``,
+* **combine** — pre-aggregate partial sums map-side (this is what makes
+  Mahout's K-Means shuffle O(K) per mapper instead of O(N)),
+* **reduce** — new centroid = sum / count.
+
+The driver iterates jobs until the centroid shift falls below ``tol`` and
+runs a final assignment job for the labels. Numerically identical to
+:class:`repro.spectral.kmeans.KMeans` given the same initial centroids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.types import JobSpec
+from repro.spectral.kmeans import kmeans_plus_plus_init
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_2d
+
+__all__ = ["MRKMeans"]
+
+
+def _assign_mapper(index, vector, ctx):
+    centroids = ctx.job.params["centroids"]
+    vec = np.asarray(vector, dtype=np.float64)
+    d2 = ((centroids - vec) ** 2).sum(axis=1)
+    c = int(np.argmin(d2))
+    yield (c, (vec, 1))
+
+
+def _sum_combiner(centroid_id, partials, ctx):
+    total = np.zeros_like(partials[0][0])
+    count = 0
+    for vec_sum, n in partials:
+        total = total + vec_sum
+        count += n
+    yield (centroid_id, (total, count))
+
+
+def _centroid_reducer(centroid_id, partials, ctx):
+    total = np.zeros_like(partials[0][0])
+    count = 0
+    for vec_sum, n in partials:
+        total = total + vec_sum
+        count += n
+    yield (centroid_id, total / count)
+
+
+def _label_mapper(index, vector, ctx):
+    centroids = ctx.job.params["centroids"]
+    vec = np.asarray(vector, dtype=np.float64)
+    yield (index, int(np.argmin(((centroids - vec) ** 2).sum(axis=1))))
+
+
+class MRKMeans:
+    """K-Means as a sequence of MapReduce jobs.
+
+    Parameters
+    ----------
+    n_clusters:
+        K.
+    engine:
+        MapReduce engine (a serial one is built when omitted).
+    max_iter / tol:
+        Lloyd iteration controls, matching the in-process KMeans.
+    split_size:
+        Records per map task.
+    seed:
+        k-means++ seeding randomness.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    cluster_centers_ : (K, d)
+    labels_ : (n,)
+    n_iter_ : Lloyd iterations executed
+    total_makespan_ : simulated wall-clock across all jobs
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        engine: MapReduceEngine | None = None,
+        max_iter: int = 50,
+        tol: float = 1e-6,
+        split_size: int = 256,
+        seed=None,
+    ):
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.n_clusters = int(n_clusters)
+        self.engine = engine if engine is not None else MapReduceEngine()
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.split_size = int(split_size)
+        self.seed = seed
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.n_iter_: int | None = None
+        self.total_makespan_: float = 0.0
+
+    def _splits(self, X: np.ndarray) -> list[list[tuple]]:
+        records = [(i, X[i]) for i in range(X.shape[0])]
+        return [
+            records[s : s + self.split_size] for s in range(0, len(records), self.split_size)
+        ]
+
+    def fit(self, X) -> "MRKMeans":
+        """Run distributed Lloyd iterations until convergence."""
+        X = check_2d(X)
+        if X.shape[0] < self.n_clusters:
+            raise ValueError(f"n_samples={X.shape[0]} < n_clusters={self.n_clusters}")
+        rng = as_rng(self.seed)
+        centroids = kmeans_plus_plus_init(X, self.n_clusters, rng)
+        splits = self._splits(X)
+        self.total_makespan_ = 0.0
+
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            job = JobSpec(
+                name=f"mr-kmeans-iter-{n_iter}",
+                mapper=_assign_mapper,
+                combiner=_sum_combiner,
+                reducer=_centroid_reducer,
+                n_reducers=self.n_clusters,
+                partitioner=lambda key, n: int(key) % n,
+                params={"centroids": centroids},
+            )
+            result = self.engine.run(job, splits)
+            self.total_makespan_ += result.makespan
+            new_centroids = centroids.copy()
+            for cid, centroid in result.output:
+                new_centroids[cid] = centroid
+            shift = np.linalg.norm(new_centroids - centroids)
+            centroids = new_centroids
+            if shift / (np.linalg.norm(centroids) or 1.0) < self.tol:
+                break
+
+        label_job = JobSpec(
+            name="mr-kmeans-labels",
+            mapper=_label_mapper,
+            params={"centroids": centroids},
+        )
+        result = self.engine.run(label_job, splits)
+        self.total_makespan_ += result.makespan
+        labels = np.empty(X.shape[0], dtype=np.int64)
+        for index, label in result.output:
+            labels[index] = label
+        self.cluster_centers_ = centroids
+        self.labels_ = labels
+        self.n_iter_ = n_iter
+        return self
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Fit and return the labels."""
+        return self.fit(X).labels_

@@ -1,0 +1,86 @@
+"""Distributed singular value decomposition (the Mahout SVD job shape).
+
+For a tall matrix ``A (n x d)`` with ``d`` small enough for one machine —
+the regime Mahout's stochastic/Lanczos SVD targets — the decomposition
+reduces to:
+
+1. a MapReduce pass accumulating the ``d x d`` Gram matrix ``A.T @ A``
+   (:func:`repro.mr_ml.linalg.mr_gram`),
+2. a local eigendecomposition ``A.T A = V S^2 V.T`` on the driver,
+3. a map-only pass computing the left factor block-wise:
+   ``U = A V S^{-1}``.
+
+Exact (not randomized); agrees with :func:`numpy.linalg.svd` up to sign.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.types import JobSpec
+from repro.mr_ml.linalg import mr_gram, row_block_splits
+
+__all__ = ["mr_svd"]
+
+_RANK_TOL = 1e-10
+
+
+def _left_factor_mapper(first_row, block, ctx):
+    v_sinv = ctx.job.params["v_sinv"]
+    yield (first_row, block @ v_sinv)
+
+
+def mr_svd(
+    engine: MapReduceEngine, A: np.ndarray, *, n_components: int | None = None, block_size: int = 256
+):
+    """Thin SVD of ``A`` computed with MapReduce passes.
+
+    Parameters
+    ----------
+    engine:
+        MapReduce engine to run the two passes on.
+    A:
+        (n, d) dense matrix; ``d`` must fit on the driver.
+    n_components:
+        Retained components (``None``: full rank, up to numerical rank).
+    block_size:
+        Rows per map task.
+
+    Returns
+    -------
+    (U, s, Vt) with ``U (n, r)``, ``s (r,)`` descending, ``Vt (r, d)`` and
+    ``A ~= U @ diag(s) @ Vt``.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    if A.ndim != 2:
+        raise ValueError(f"A must be 2-D, got shape {A.shape}")
+    n, d = A.shape
+    splits = row_block_splits(A, block_size)
+
+    # Pass 1: G = A.T A via map/combine/reduce.
+    G = mr_gram(engine, splits)
+    vals, V = np.linalg.eigh(G)
+    order = np.argsort(vals)[::-1]
+    vals = np.clip(vals[order], 0.0, None)
+    V = V[:, order]
+
+    # Numerical rank from the *eigenvalues* of A.T A (squaring widens the
+    # gap between true and round-off singular values), then truncation.
+    s = np.sqrt(vals)
+    rank = int(np.sum(vals > _RANK_TOL * max(vals[0] if vals.size else 0.0, 1.0)))
+    r = rank if n_components is None else min(n_components, rank)
+    if r == 0:
+        return np.zeros((n, 0)), np.zeros(0), np.zeros((0, d))
+    s = s[:r]
+    V = V[:, :r]
+
+    # Pass 2: U = A V S^{-1}, block-wise map-only job.
+    job = JobSpec(
+        name="mr-svd-left",
+        mapper=_left_factor_mapper,
+        params={"v_sinv": V / s[None, :]},
+    )
+    result = engine.run(job, splits)
+    U = np.vstack([piece for _, piece in sorted(result.output)])
+    return U, s, V.T

@@ -1,0 +1,92 @@
+"""Symmetric tridiagonal eigensolver: implicit-shift QL with Wilkinson shifts.
+
+The classic ``tql2`` algorithm (EISPACK lineage; Numerical Recipes' tqli):
+O(n) per implicit QL sweep, a handful of sweeps per eigenvalue, and plane
+rotations accumulated into the eigenvector matrix. Combined with
+:mod:`repro.spectral.lanczos` this is the paper's "transform L into a
+symmetric tridiagonal matrix, then apply QR decomposition" pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tridiagonal_eigh"]
+
+_MAX_SWEEPS = 50
+
+
+def tridiagonal_eigh(alpha, beta) -> tuple[np.ndarray, np.ndarray]:
+    """Eigendecomposition of the symmetric tridiagonal matrix T(alpha, beta).
+
+    Parameters
+    ----------
+    alpha:
+        (n,) main diagonal.
+    beta:
+        (n-1,) sub/super-diagonal.
+
+    Returns
+    -------
+    eigenvalues : (n,) ascending
+    eigenvectors : (n, n), column i pairs with eigenvalue i
+    """
+    d = np.asarray(alpha, dtype=np.float64).copy()
+    n = d.shape[0]
+    if n == 0:
+        raise ValueError("alpha must be non-empty")
+    e = np.zeros(n)
+    beta = np.asarray(beta, dtype=np.float64)
+    if beta.shape[0] != max(n - 1, 0):
+        raise ValueError(f"beta must have length {n - 1}, got {beta.shape[0]}")
+    e[: n - 1] = beta
+    Z = np.eye(n)
+
+    for l in range(n):
+        for iteration in range(_MAX_SWEEPS + 1):
+            # Find the first negligible off-diagonal at or after l.
+            m = l
+            while m < n - 1:
+                dd = abs(d[m]) + abs(d[m + 1])
+                if abs(e[m]) <= np.finfo(float).eps * dd:
+                    break
+                m += 1
+            if m == l:
+                break  # eigenvalue l converged
+            if iteration == _MAX_SWEEPS:
+                raise RuntimeError(f"tridiagonal QL failed to converge at index {l}")
+            # Wilkinson shift from the trailing 2x2 of the active block.
+            g = (d[l + 1] - d[l]) / (2.0 * e[l])
+            r = np.hypot(g, 1.0)
+            g = d[m] - d[l] + e[l] / (g + (r if g >= 0 else -r))
+            s = c = 1.0
+            p = 0.0
+            for i in range(m - 1, l - 1, -1):
+                f = s * e[i]
+                b = c * e[i]
+                r = np.hypot(f, g)
+                e[i + 1] = r
+                if r == 0.0:
+                    d[i + 1] -= p
+                    e[m] = 0.0
+                    break
+                s = f / r
+                c = g / r
+                g = d[i + 1] - p
+                r = (d[i] - g) * s + 2.0 * c * b
+                p = s * r
+                d[i + 1] = g + p
+                g = c * r - b
+                # Accumulate the plane rotation into the eigenvector matrix.
+                tmp = Z[:, i + 1].copy()
+                Z[:, i + 1] = s * Z[:, i] + c * tmp
+                Z[:, i] = c * Z[:, i] - s * tmp
+            else:
+                d[l] -= p
+                e[l] = g
+                e[m] = 0.0
+                continue
+            continue
+
+    order = np.argsort(d, kind="stable")
+    return d[order], Z[:, order]

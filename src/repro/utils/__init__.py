@@ -1,0 +1,33 @@
+"""Shared utilities: RNG plumbing, validation, timing, and memory accounting."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.memory import (
+    dense_matrix_bytes,
+    block_diagonal_bytes,
+    sparse_matrix_bytes,
+    MemoryLedger,
+)
+from repro.utils.validation import (
+    check_2d,
+    check_labels,
+    check_positive,
+    check_probability,
+    check_square,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "timed",
+    "dense_matrix_bytes",
+    "block_diagonal_bytes",
+    "sparse_matrix_bytes",
+    "MemoryLedger",
+    "check_2d",
+    "check_labels",
+    "check_positive",
+    "check_probability",
+    "check_square",
+]

@@ -1,0 +1,40 @@
+"""Random-number-generator plumbing.
+
+All stochastic components in the library accept a ``seed`` argument that may
+be an integer, ``None``, or an existing :class:`numpy.random.Generator`.
+Routing everything through :func:`as_rng` keeps experiments reproducible and
+lets callers share a single generator across pipeline stages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_rng", "spawn_rngs"]
+
+
+def as_rng(seed: int | None | np.random.Generator) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an ``int`` seed, or an existing
+        generator (returned unchanged, so state is shared with the caller).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | None | np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from one seed.
+
+    Uses :meth:`numpy.random.Generator.spawn` so that the children's streams
+    are statistically independent regardless of how many draws each consumes.
+    This is how simulated cluster nodes obtain per-task randomness without
+    coupling the outcome to scheduling order.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return as_rng(seed).spawn(n)

@@ -1,0 +1,57 @@
+"""Wall-clock measurement helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Used by the DASC pipeline to attribute wall time to individual stages
+    (hashing, bucketing, kernel computation, eigensolve, k-means) so the
+    per-stage breakdown reported in the paper's Section 5.6 can be rebuilt.
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def lap(self, name: str):
+        """Context manager: accumulate elapsed seconds under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.laps[name] = self.laps.get(name, 0.0) + (time.perf_counter() - start)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded laps, in seconds."""
+        return sum(self.laps.values())
+
+    def merge(self, other: "Stopwatch") -> None:
+        """Fold another stopwatch's laps into this one (summing collisions)."""
+        for name, seconds in other.laps.items():
+            self.laps[name] = self.laps.get(name, 0.0) + seconds
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a single-element list filled with elapsed seconds.
+
+    >>> with timed() as t:
+    ...     _ = sum(range(10))
+    >>> t[0] >= 0.0
+    True
+    """
+    box = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

@@ -1,0 +1,39 @@
+"""Shared fixtures: small deterministic datasets reused across test modules."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_blobs, make_uniform
+from repro.data.wikipedia import WikipediaCorpusConfig, generate_corpus, vectorize_corpus
+
+
+@pytest.fixture(scope="session")
+def blobs_small():
+    """400 points, 4 well-separated clusters, 16 dims, values in [0, 1]."""
+    return make_blobs(n_samples=400, n_clusters=4, n_features=16, cluster_std=0.03, seed=0)
+
+
+@pytest.fixture(scope="session")
+def blobs_medium():
+    """1200 points, 6 clusters, 32 dims."""
+    return make_blobs(n_samples=1200, n_clusters=6, n_features=32, cluster_std=0.04, seed=1)
+
+
+@pytest.fixture(scope="session")
+def uniform_small():
+    """256 x 8 uniform points (the paper's synthetic-data shape, miniature)."""
+    return make_uniform(256, 8, seed=2)
+
+
+@pytest.fixture(scope="session")
+def wiki_small():
+    """A 512-document Wikipedia-like corpus, vectorized (X, y, corpus)."""
+    corpus = generate_corpus(WikipediaCorpusConfig(n_documents=512, n_categories=8, seed=3))
+    X, y = vectorize_corpus(corpus)
+    return X, y, corpus
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(42)

@@ -1,0 +1,151 @@
+"""Tests for the analytic complexity and collision models (Figures 1-2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    BETA_SECONDS,
+    collision_probability_group,
+    collision_probability_single,
+    dasc_memory_bytes,
+    dasc_time_ops,
+    dasc_time_seconds,
+    figure1_curves,
+    figure2_curves,
+    fit_k_log2,
+    sc_memory_bytes,
+    sc_time_ops,
+    space_reduction_ratio,
+    time_reduction_ratio,
+    wikipedia_collision_probability,
+)
+
+
+class TestComplexity:
+    def test_dasc_always_cheaper_at_scale(self):
+        for e in range(14, 30, 2):
+            n = 2**e
+            assert dasc_time_ops(n) < sc_time_ops(n)
+            assert dasc_memory_bytes(n) < sc_memory_bytes(n)
+
+    def test_space_ratio_is_one_over_b(self):
+        """Eq. (10): uniform buckets give exactly 1/B."""
+        assert space_reduction_ratio(2**20, n_buckets=256) == pytest.approx(1 / 256)
+
+    def test_time_ratio_approaches_one_over_b(self):
+        """Eq. (8): the ratio tends to 1/B as N grows."""
+        b = 64
+        ratios = [time_reduction_ratio(2**e, n_buckets=b) for e in (16, 22, 28)]
+        assert abs(ratios[-1] - 1 / b) < abs(ratios[0] - 1 / b)
+        assert ratios[-1] == pytest.approx(1 / b, rel=0.05)
+
+    def test_eq12_memory_formula(self):
+        assert dasc_memory_bytes(1000, n_buckets=10) == 4 * 10 * 100**2
+
+    def test_sc_memory_formula(self):
+        assert sc_memory_bytes(1000) == 4 * 10**6
+
+    def test_figure1_slopes(self):
+        """DASC grows ~1 unit per doubling (sub-quadratic), SC ~2 units."""
+        curves = figure1_curves(range(20, 30))
+        dasc_t = np.diff(curves["dasc_time_log2_hours"])
+        sc_t = np.diff(curves["sc_time_log2_hours"])
+        dasc_m = np.diff(curves["dasc_memory_log2_kb"])
+        sc_m = np.diff(curves["sc_memory_log2_kb"])
+        assert np.all(sc_t == pytest.approx(2.0, abs=0.05))
+        assert np.all(sc_m == pytest.approx(2.0, abs=0.01))
+        assert dasc_t.mean() < 1.7
+        assert dasc_m.mean() < 1.7
+
+    def test_figure1_dasc_below_sc_everywhere(self):
+        curves = figure1_curves()
+        assert np.all(
+            np.array(curves["dasc_time_log2_hours"]) < np.array(curves["sc_time_log2_hours"])
+        )
+        assert np.all(
+            np.array(curves["dasc_memory_log2_kb"]) < np.array(curves["sc_memory_log2_kb"])
+        )
+
+    def test_beta_constant_matches_paper(self):
+        assert BETA_SECONDS == 50e-6
+
+    def test_machines_scale_time_linearly(self):
+        t1 = dasc_time_seconds(2**22, n_machines=1)
+        t1024 = dasc_time_seconds(2**22, n_machines=1024)
+        assert t1 == pytest.approx(1024 * t1024)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            dasc_time_ops(1)
+        with pytest.raises(ValueError):
+            dasc_time_seconds(2**20, n_machines=0)
+        with pytest.raises(ValueError):
+            sc_memory_bytes(-1)
+
+
+class TestCollision:
+    def test_eq13_value(self):
+        assert collision_probability_single(10, 5, 2) == pytest.approx(0.25)
+
+    def test_eq13_decreases_in_m(self):
+        probs = [collision_probability_single(11, 5, m) for m in range(0, 10)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_eq14_group_power(self):
+        p1 = collision_probability_single(10, 2, 3)
+        assert collision_probability_group(10, 2, 3, 4) == pytest.approx(p1**4)
+
+    def test_eq18_monotone_decreasing_in_m(self):
+        """Figure 2: more hash functions -> lower collision probability."""
+        for e in (20, 24, 28):
+            probs = [wikipedia_collision_probability(2.0**e, m) for m in range(5, 36)]
+            assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_eq18_sublinear_decay(self):
+        """Figure 2's 'slowly (sub-linearly) decreases' observation."""
+        p5 = wikipedia_collision_probability(2.0**20, 5)
+        p35 = wikipedia_collision_probability(2.0**20, 35)
+        assert p35 > p5 - 0.5  # a 7x increase in M loses far less than 7x the prob.
+        assert 0.5 < p35 < p5 < 1.0
+
+    def test_eq18_range_matches_figure2(self):
+        """All Figure-2 curves live in ~[0.7, 1.0] over M in [5, 35]."""
+        curves = figure2_curves()
+        for series in curves["series"].values():
+            assert min(series) > 0.65 and max(series) < 1.0
+
+    def test_eq15_domain(self):
+        with pytest.raises(ValueError):
+            wikipedia_collision_probability(512, 5)
+
+    @given(st.integers(0, 64), st.floats(1.0, 1e6), st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_eq13_is_probability(self, m, d, frac):
+        r = d * frac
+        p = collision_probability_single(d, r, m)
+        assert 0.0 <= p <= 1.0
+
+
+class TestFit:
+    def test_recovers_exact_line(self):
+        sizes = [2**e for e in range(10, 18)]
+        counts = [17 * (math.log2(n) - 9) for n in sizes]
+        a, b, r2 = fit_k_log2(sizes, counts)
+        assert a == pytest.approx(17.0)
+        assert b == pytest.approx(9.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_noisy_fit_r2_below_one(self):
+        rng = np.random.default_rng(0)
+        sizes = [2**e for e in range(10, 18)]
+        counts = [17 * (math.log2(n) - 9) + rng.normal(0, 5) for n in sizes]
+        _, _, r2 = fit_k_log2(sizes, counts)
+        assert 0.8 < r2 < 1.0
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_k_log2([1024], [17])

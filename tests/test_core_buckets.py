@@ -1,0 +1,144 @@
+"""Tests for bucket grouping, Eq.-6 merging, and small-bucket folding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buckets import Buckets, fold_small_buckets, group_by_signature, merge_buckets
+from repro.lsh.hamming import hamming_distance
+
+
+def make_buckets(sig_per_point, n_bits):
+    return group_by_signature(np.array(sig_per_point, dtype=np.uint64), n_bits)
+
+
+class TestGroupBySignature:
+    def test_basic_grouping(self):
+        b = make_buckets([5, 3, 5, 3, 7], 3)
+        assert b.n_buckets == 3
+        # Same signature -> same bucket; different -> different.
+        a = b.assignments
+        assert a[0] == a[2] and a[1] == a[3] and a[0] != a[1] != a[4]
+
+    def test_sizes_sum_to_n(self):
+        b = make_buckets([1, 1, 2, 3, 3, 3], 2)
+        assert b.sizes.sum() == 6
+        assert sorted(b.sizes.tolist()) == [1, 2, 3]
+
+    def test_members_partition_everything(self):
+        b = make_buckets([4, 2, 4, 9, 2], 4)
+        all_members = np.concatenate([b.members(i) for i in range(b.n_buckets)])
+        assert sorted(all_members.tolist()) == list(range(5))
+
+    def test_iter_members_matches_members(self):
+        b = make_buckets([0, 1, 0, 1, 2], 2)
+        for bucket_id, idx in b.iter_members():
+            assert np.array_equal(np.sort(idx), b.members(bucket_id))
+
+    def test_members_out_of_range(self):
+        b = make_buckets([0], 1)
+        with pytest.raises(IndexError):
+            b.members(5)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            group_by_signature(np.zeros((2, 2), dtype=np.uint64), 2)
+
+
+class TestMergeBuckets:
+    def test_noop_when_p_equals_m(self):
+        b = make_buckets([0b00, 0b01, 0b11], 2)
+        merged = merge_buckets(b, 2)
+        assert merged.n_buckets == 3
+
+    def test_one_bit_neighbours_merge_star(self):
+        # 00 (x3 points) and 01 differ by one bit -> merge; 11 differs from 00
+        # by two bits and from 01 by one: star merge assigns 11 to the leader
+        # it is near IF still unclaimed when its neighbour leads.
+        b = make_buckets([0b00, 0b00, 0b00, 0b01, 0b11], 2)
+        merged = merge_buckets(b, 1, strategy="star")
+        # Leader 00 absorbs 01; 11 is 2 bits from 00 so it leads itself.
+        assert merged.n_buckets == 2
+        assert merged.sizes.tolist() in ([4, 1], [1, 4])
+
+    def test_transitive_chains_collapse(self):
+        # 00 - 01 - 11 is a one-bit chain: transitive closure -> one bucket.
+        b = make_buckets([0b00, 0b01, 0b11], 2)
+        merged = merge_buckets(b, 1, strategy="transitive")
+        assert merged.n_buckets == 1
+
+    def test_star_does_not_chain(self):
+        b = make_buckets([0b00, 0b00, 0b01, 0b11, 0b11], 2)
+        merged = merge_buckets(b, 1, strategy="star")
+        # Largest leaders are 00 and 11 (2 points each); 01 is 1 bit from
+        # both and joins whichever led first; no single mega-bucket.
+        assert merged.n_buckets == 2
+
+    def test_merge_preserves_point_count(self):
+        sigs = [0, 1, 2, 3, 4, 5, 6, 7] * 3
+        b = make_buckets(sigs, 3)
+        for strategy in ("star", "transitive"):
+            merged = merge_buckets(b, 2, strategy=strategy)
+            assert merged.sizes.sum() == len(sigs)
+
+    def test_invalid_args(self):
+        b = make_buckets([0, 1], 2)
+        with pytest.raises(ValueError):
+            merge_buckets(b, 3)
+        with pytest.raises(ValueError):
+            merge_buckets(b, 1, strategy="bogus")
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=40), st.integers(2, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_merged_is_coarsening(self, sigs, p):
+        """Merging never splits a bucket: same signature => same merged bucket."""
+        b = make_buckets(sigs, 4)
+        merged = merge_buckets(b, min(p, 4), strategy="star")
+        for i in range(len(sigs)):
+            for j in range(len(sigs)):
+                if sigs[i] == sigs[j]:
+                    assert merged.assignments[i] == merged.assignments[j]
+
+    @given(st.lists(st.integers(0, 15), min_size=2, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_star_members_within_one_bit_of_leader(self, sigs):
+        """Star merge with P=M-1: every original bucket's signature is within
+        one bit of its merged bucket's representative signature."""
+        b = make_buckets(sigs, 4)
+        merged = merge_buckets(b, 3, strategy="star")
+        for i, s in enumerate(sigs):
+            rep = merged.signatures[merged.assignments[i]]
+            assert hamming_distance(np.uint64(s), rep) <= 1
+
+
+class TestFoldSmallBuckets:
+    def test_noop_when_all_large(self):
+        b = make_buckets([0, 0, 0, 5, 5, 5], 3)
+        assert fold_small_buckets(b, 2).n_buckets == 2
+
+    def test_singletons_fold_to_nearest(self):
+        # Big bucket 0b0000 (x4); singleton 0b0001 is 1 bit away, 0b1111 far.
+        b = make_buckets([0b0000] * 4 + [0b1111] * 4 + [0b0001], 4)
+        folded = fold_small_buckets(b, 2)
+        assert folded.n_buckets == 2
+        # The singleton joined the 0000 bucket.
+        assert folded.assignments[8] == folded.assignments[0]
+
+    def test_all_small_collapses_to_one(self):
+        b = make_buckets([0, 1, 2, 3], 2)
+        folded = fold_small_buckets(b, 10)
+        assert folded.n_buckets == 1
+
+    def test_min_size_one_is_noop(self):
+        b = make_buckets([0, 1, 2], 2)
+        assert fold_small_buckets(b, 1) is b
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=30), st.integers(2, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_folding_preserves_points_and_min_size(self, sigs, min_size):
+        b = make_buckets(sigs, 3)
+        folded = fold_small_buckets(b, min_size)
+        assert folded.sizes.sum() == len(sigs)
+        if folded.n_buckets > 1:
+            assert folded.sizes.min() >= min(min_size, folded.sizes.max())

@@ -1,0 +1,130 @@
+"""Tests for the end-to-end DASC estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core import DASC, DASCConfig
+from repro.kernels import GaussianKernel, gram_matrix
+from repro.metrics import clustering_accuracy, fnorm_ratio
+from repro.spectral import SpectralClustering
+
+
+class TestFit:
+    def test_recovers_blobs(self, blobs_small):
+        X, y = blobs_small
+        labels = DASC(4, seed=0).fit_predict(X)
+        assert clustering_accuracy(y, labels) > 0.9
+
+    def test_labels_cover_all_points(self, blobs_medium):
+        X, _ = blobs_medium
+        dasc = DASC(6, seed=0).fit(X)
+        assert dasc.labels_.shape == (X.shape[0],)
+        assert dasc.labels_.min() >= 0
+        assert dasc.labels_.max() < dasc.n_clusters_
+
+    def test_deterministic(self, blobs_small):
+        X, _ = blobs_small
+        a = DASC(4, seed=5).fit_predict(X)
+        b = DASC(4, seed=5).fit_predict(X)
+        assert np.array_equal(a, b)
+
+    def test_defaults_resolved_from_data(self, blobs_small):
+        X, _ = blobs_small
+        dasc = DASC(seed=0).fit(X)  # no explicit K or M
+        assert dasc.n_bits_ == 3  # floor(log2(400)/2) - 1
+        assert dasc.sigma_ > 0
+        assert dasc.n_clusters_ >= 1
+
+    def test_single_bucket_matches_exact_sc(self, blobs_small):
+        """Approximation knob at the coarse end: DASC(B=1) == exact SC."""
+        X, y = blobs_small
+        dasc = DASC(4, sigma=0.3, min_bucket_size=10**6, seed=0)
+        sc = SpectralClustering(4, sigma=0.3, seed=0)
+        acc_d = clustering_accuracy(y, dasc.fit_predict(X))
+        acc_s = clustering_accuracy(y, sc.fit_predict(X))
+        assert dasc.buckets_.n_buckets == 1
+        assert acc_d == pytest.approx(acc_s, abs=0.02)
+
+    def test_memory_never_exceeds_full_matrix(self, blobs_medium):
+        X, _ = blobs_medium
+        dasc = DASC(6, seed=1).fit(X)
+        assert dasc.approx_kernel_.nbytes <= 4 * X.shape[0] ** 2
+
+    def test_stage_times_recorded(self, blobs_small):
+        X, _ = blobs_small
+        dasc = DASC(4, seed=0).fit(X)
+        assert {"hash", "bucket", "kernel", "spectral"} <= set(dasc.stopwatch_.laps)
+
+    def test_config_object_and_overrides(self, blobs_small):
+        X, _ = blobs_small
+        cfg = DASCConfig(n_bits=5, sigma=0.4, seed=2)
+        dasc = DASC(4, config=cfg).fit(X)
+        assert dasc.n_bits_ == 5 and dasc.sigma_ == 0.4
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TypeError):
+            DASC(4, bogus_option=1)
+
+    def test_custom_kernel(self, blobs_small):
+        X, y = blobs_small
+        dasc = DASC(4, kernel=GaussianKernel(0.3), seed=0)
+        assert clustering_accuracy(y, dasc.fit_predict(X)) > 0.9
+
+    @pytest.mark.parametrize("hasher", ["axis", "signed_rp", "pca", "stable"])
+    def test_all_hash_families_run(self, blobs_small, hasher):
+        X, y = blobs_small
+        labels = DASC(4, hasher=hasher, seed=0).fit_predict(X)
+        assert labels.shape == (X.shape[0],)
+
+    @pytest.mark.parametrize("allocation", ["proportional", "sqrt", "fixed"])
+    def test_allocation_policies_run(self, blobs_small, allocation):
+        # 'fixed' intentionally produces more than K clusters (min(K, N_i)
+        # per bucket), so Hungarian accuracy is the wrong yardstick there;
+        # NMI tolerates refinements of the true partition.
+        from repro.metrics import normalized_mutual_info
+
+        X, y = blobs_small
+        labels = DASC(4, allocation=allocation, seed=0).fit_predict(X)
+        assert normalized_mutual_info(y, labels) > 0.7
+
+
+class TestTransform:
+    def test_transform_returns_block_kernel_without_clustering(self, blobs_small):
+        X, _ = blobs_small
+        dasc = DASC(seed=0, n_bits=4)
+        approx = dasc.transform(X)
+        assert approx.n_samples == X.shape[0]
+        assert dasc.labels_ is None  # no clustering ran
+
+    def test_transform_blocks_match_true_kernel(self, blobs_small):
+        X, _ = blobs_small
+        dasc = DASC(seed=0, sigma=0.3, n_bits=4)
+        approx = dasc.transform(X)
+        full = gram_matrix(X, GaussianKernel(0.3), zero_diagonal=True)
+        dense = approx.to_dense()
+        mask = dense != 0
+        assert np.allclose(dense[mask], full[mask])
+
+    def test_fnorm_ratio_reasonable_on_clustered_data(self, blobs_small):
+        """Clustered data keeps most spectral mass inside buckets (Fig. 5)."""
+        X, _ = blobs_small
+        dasc = DASC(seed=0, sigma=0.3)
+        approx = dasc.transform(X)
+        full = gram_matrix(X, GaussianKernel(0.3), zero_diagonal=True)
+        assert fnorm_ratio(approx, full) > 0.5
+
+
+class TestPartition:
+    def test_partition_only(self, blobs_small):
+        X, _ = blobs_small
+        dasc = DASC(seed=0)
+        buckets = dasc.partition(X)
+        assert buckets.sizes.sum() == X.shape[0]
+        assert dasc.approx_kernel_ is None
+
+    def test_min_bucket_size_enforced(self, blobs_medium):
+        X, _ = blobs_medium
+        dasc = DASC(6, min_bucket_size=20, n_bits=6, seed=0)
+        buckets = dasc.partition(X)
+        if buckets.n_buckets > 1:
+            assert buckets.sizes.min() >= 20

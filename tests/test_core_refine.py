@@ -1,0 +1,104 @@
+"""Tests for cluster refinement (merge-to-K) and eigengap allocation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DASC
+from repro.core.allocation import choose_k_eigengap
+from repro.core.refine import merge_clusters_to_k
+from repro.data import make_blobs
+from repro.kernels import GaussianKernel, gram_matrix
+from repro.metrics import average_squared_error, clustering_accuracy
+
+
+class TestMergeClustersToK:
+    def test_merges_split_cluster_fragments(self):
+        rng = np.random.default_rng(0)
+        # Two tight blobs, but one is artificially split into two labels.
+        a = rng.normal(0.0, 0.01, (40, 4))
+        b = rng.normal(1.0, 0.01, (40, 4))
+        X = np.vstack([a, b])
+        labels = np.concatenate([np.zeros(20), np.ones(20), np.full(40, 2)]).astype(int)
+        merged = merge_clusters_to_k(X, labels, 2)
+        # The two fragments of blob a must be reunited.
+        assert len(np.unique(merged)) == 2
+        assert merged[0] == merged[25]
+        assert merged[0] != merged[60]
+
+    def test_already_at_k_is_identity_up_to_relabelling(self):
+        X = np.arange(12, dtype=float).reshape(6, 2)
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        merged = merge_clusters_to_k(X, labels, 3)
+        assert np.array_equal(merged, labels)
+
+    def test_fewer_than_k_compacts_only(self):
+        X = np.arange(8, dtype=float).reshape(4, 2)
+        labels = np.array([5, 5, 9, 9])
+        merged = merge_clusters_to_k(X, labels, 3)
+        assert sorted(np.unique(merged)) == [0, 1]
+
+    def test_merge_to_one(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, (30, 3))
+        merged = merge_clusters_to_k(X, rng.integers(0, 6, 30), 1)
+        assert np.all(merged == 0)
+
+    def test_ward_prefers_closest_pair(self):
+        # Three singleton clusters on a line at 0, 0.1, 5: merging to 2
+        # must join the nearby pair.
+        X = np.array([[0.0], [0.1], [5.0]])
+        merged = merge_clusters_to_k(X, np.array([0, 1, 2]), 2)
+        assert merged[0] == merged[1] != merged[2]
+
+    def test_never_increases_ase_catastrophically(self):
+        X, y = make_blobs(200, n_clusters=4, n_features=8, cluster_std=0.02, seed=2)
+        # Over-clustered: 8 labels (each blob split in two).
+        over = y * 2 + (np.arange(200) % 2)
+        merged = merge_clusters_to_k(X, over, 4)
+        assert clustering_accuracy(y, merged) > 0.95
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            merge_clusters_to_k(np.ones((3, 2)), [0, 1, 2], 0)
+
+    @given(st.integers(0, 20), st.integers(1, 5), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_output_always_exactly_min_k_clusters(self, seed, k, c):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0, 1, (30, 3))
+        labels = rng.integers(0, c, 30)
+        merged = merge_clusters_to_k(X, labels, k)
+        present = len(np.unique(labels))
+        assert len(np.unique(merged)) == min(k, present)
+        assert merged.min() == 0
+
+
+class TestEigengap:
+    def test_recovers_block_count(self):
+        rng = np.random.default_rng(0)
+        X, _ = make_blobs(120, n_clusters=3, n_features=8, cluster_std=0.02, seed=0)
+        S = gram_matrix(X, GaussianKernel(0.2), zero_diagonal=True)
+        assert choose_k_eigengap(S, 10) == 3
+
+    def test_single_cluster(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 0.01, (50, 4))
+        S = gram_matrix(X, GaussianKernel(0.5), zero_diagonal=True)
+        assert choose_k_eigengap(S, 10) == 1
+
+    def test_tiny_inputs(self):
+        assert choose_k_eigengap(np.ones((2, 2)), 5) == 1
+
+    def test_dasc_eigengap_plus_refine_matches_k(self, blobs_medium):
+        X, y = blobs_medium
+        dasc = DASC(6, allocation="eigengap", seed=0).fit(X)
+        assert dasc.n_clusters_ == 6  # refined back down to the requested K
+        assert clustering_accuracy(y, dasc.labels_) > 0.9
+
+    def test_refine_disabled_keeps_union(self, blobs_small):
+        X, y = blobs_small
+        dasc = DASC(4, allocation="fixed", refine_to_k=False, seed=0).fit(X)
+        if dasc.buckets_.n_buckets > 1:
+            assert dasc.n_clusters_ > 4

@@ -1,0 +1,69 @@
+"""Tests for the approximation-level tuning API."""
+
+import numpy as np
+import pytest
+
+from repro.core import DASC, DASCConfig
+from repro.core.tuning import approximation_profile, choose_n_bits
+from repro.data import make_blobs
+
+
+@pytest.fixture(scope="module")
+def tuning_data():
+    X, _ = make_blobs(800, n_clusters=16, n_features=32, cluster_std=0.05, seed=2)
+    return X
+
+
+class TestProfile:
+    def test_entries_per_candidate(self, tuning_data):
+        profile = approximation_profile(tuning_data, (2, 4, 6), seed=0)
+        assert [e.n_bits for e in profile] == [2, 4, 6]
+
+    def test_quantities_valid(self, tuning_data):
+        for e in approximation_profile(tuning_data, (2, 6, 10), seed=0):
+            assert 1 <= e.n_buckets
+            assert 0.0 < e.kept_fraction <= 1.0
+            assert 0.0 < e.fnorm_ratio <= 1.0 + 1e-12
+
+    def test_more_bits_keep_less_kernel(self, tuning_data):
+        profile = approximation_profile(tuning_data, (2, 10), seed=0)
+        assert profile[-1].kept_fraction <= profile[0].kept_fraction
+
+    def test_subsampling_bounds_cost(self, tuning_data):
+        profile = approximation_profile(tuning_data, (4,), max_samples=100, seed=0)
+        assert profile[0].n_buckets >= 1  # ran on the 100-point sample
+
+    def test_invalid_bits(self, tuning_data):
+        with pytest.raises(ValueError):
+            approximation_profile(tuning_data, (0,))
+
+
+class TestChooseNBits:
+    def test_respects_target(self, tuning_data):
+        m = choose_n_bits(tuning_data, target_fnorm_ratio=0.9, bit_values=(2, 4, 6, 8), seed=0)
+        profile = {e.n_bits: e for e in approximation_profile(tuning_data, (2, 4, 6, 8), seed=0)}
+        assert profile[m].fnorm_ratio >= 0.9
+
+    def test_loose_target_picks_more_bits(self, tuning_data):
+        strict = choose_n_bits(tuning_data, target_fnorm_ratio=0.99, bit_values=(2, 4, 6, 8), seed=0)
+        loose = choose_n_bits(tuning_data, target_fnorm_ratio=0.5, bit_values=(2, 4, 6, 8), seed=0)
+        assert loose >= strict
+
+    def test_impossible_target_falls_back_to_smallest(self, tuning_data):
+        m = choose_n_bits(tuning_data, target_fnorm_ratio=1.0, bit_values=(4, 6), seed=0)
+        # Ratio 1.0 requires a single bucket, which M=4 may not give: the
+        # fallback is the smallest candidate.
+        profile = {e.n_bits: e for e in approximation_profile(tuning_data, (4, 6), seed=0)}
+        if all(e.fnorm_ratio < 1.0 for e in profile.values()):
+            assert m == 4
+
+    def test_chosen_m_produces_working_clustering(self, tuning_data):
+        from repro.metrics import normalized_mutual_info
+
+        m = choose_n_bits(tuning_data, target_fnorm_ratio=0.85, seed=0)
+        labels = DASC(16, n_bits=m, seed=0).fit_predict(tuning_data)
+        assert labels.shape == (tuning_data.shape[0],)
+
+    def test_invalid_target(self, tuning_data):
+        with pytest.raises(ValueError):
+            choose_n_bits(tuning_data, target_fnorm_ratio=1.5)

@@ -1,0 +1,164 @@
+"""Tests for the MapReduce implementation of DASC (Algorithms 1-2 + driver)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DASC, DASCConfig
+from repro.dasc_mr import DistributedDASC, make_signature_job, signature_mapper
+from repro.dasc_mr.stage2 import make_clustering_job
+from repro.lsh.axis import AxisParallelHasher
+from repro.mapreduce import MapReduceEngine
+from repro.metrics import clustering_accuracy, normalized_mutual_info
+
+
+class TestStage1:
+    def test_mapper_matches_hasher(self, blobs_small):
+        """Algorithm 1 (scalar per-record path) == the vectorised hasher."""
+        X, _ = blobs_small
+        hasher = AxisParallelHasher(5, seed=0).fit(X)
+        job = make_signature_job(hasher.dimensions_, hasher.thresholds_)
+        result = MapReduceEngine().run(job, [[(i, X[i]) for i in range(40)]])
+        mr_sigs = {idx: int(sig) for sig, (idx, _) in result.output}
+        vec_sigs = hasher.hash(X[:40])
+        for i in range(40):
+            assert mr_sigs[i] == int(vec_sigs[i])
+
+    def test_map_cost_is_m_per_record(self, blobs_small):
+        X, _ = blobs_small
+        hasher = AxisParallelHasher(7, seed=0).fit(X)
+        job = make_signature_job(hasher.dimensions_, hasher.thresholds_)
+        result = MapReduceEngine().run(job, [[(i, X[i]) for i in range(10)]])
+        assert result.map_stats.total_cost == 70.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            make_signature_job([0, 1], [0.5])  # length mismatch
+
+
+class TestStage2:
+    def test_reduce_cost_follows_eq3(self):
+        allocation = {0: (2, 0)}
+        job = make_clustering_job(sigma=1.0, allocation=allocation, n_reducers=1)
+        members = [(i, np.zeros(3)) for i in range(5)]
+        # 2 * 5^2 + 2 * 2 * 5 = 70.
+        assert job.reduce_cost(0, members) == 70.0
+
+    def test_reducer_emits_offset_labels(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 0.01, (10, 3)), rng.normal(1, 0.01, (10, 3))])
+        allocation = {0: (2, 7)}  # K_i = 2, offset 7
+        job = make_clustering_job(sigma=0.5, allocation=allocation, n_reducers=1, seed=0)
+        records = [(0, (i, X[i])) for i in range(20)]
+        result = MapReduceEngine().run(job, [records])
+        labels = dict(result.output)
+        assert set(labels.values()) == {7, 8}
+
+    def test_invalid_reducers(self):
+        with pytest.raises(ValueError):
+            make_clustering_job(sigma=1.0, allocation={}, n_reducers=0)
+
+
+class TestDistributedDASC:
+    def test_agrees_with_local_dasc(self, blobs_small):
+        X, y = blobs_small
+        local = DASC(4, seed=0).fit_predict(X)
+        dist = DistributedDASC(4, n_nodes=4, config=DASCConfig(seed=0)).run(X).labels
+        # Same pipeline, same seeds -> identical partitions up to relabelling.
+        assert normalized_mutual_info(local, dist) > 0.95
+
+    def test_accuracy_on_blobs(self, blobs_small):
+        X, y = blobs_small
+        res = DistributedDASC(4, n_nodes=8).run(X)
+        assert clustering_accuracy(y, res.labels) > 0.9
+
+    def test_every_point_labelled(self, blobs_medium):
+        X, _ = blobs_medium
+        res = DistributedDASC(6, n_nodes=4).run(X)
+        assert res.labels.shape == (X.shape[0],)
+        assert (res.labels >= 0).all()
+
+    def test_elasticity_makespan_monotone(self, blobs_medium):
+        """More nodes never increase the simulated makespan (Table 3)."""
+        X, _ = blobs_medium
+        cfg = dict(n_bits=8, min_bucket_size=4, seed=0)
+        spans = [
+            DistributedDASC(6, n_nodes=n, config=DASCConfig(**cfg)).run(X).makespan
+            for n in (1, 4, 16)
+        ]
+        assert spans[0] >= spans[1] >= spans[2]
+
+    def test_accuracy_invariant_across_node_counts(self, blobs_small):
+        """Table 3: node count affects time, not results."""
+        X, y = blobs_small
+        labels = [
+            DistributedDASC(4, n_nodes=n, config=DASCConfig(seed=0)).run(X).labels
+            for n in (2, 32)
+        ]
+        assert np.array_equal(labels[0], labels[1])
+
+    def test_memory_is_block_diagonal(self, blobs_small):
+        X, _ = blobs_small
+        res = DistributedDASC(4, n_nodes=4, config=DASCConfig(seed=0)).run(X)
+        assert res.gram_bytes <= 4 * X.shape[0] ** 2
+
+    def test_counters_present(self, blobs_small):
+        X, _ = blobs_small
+        res = DistributedDASC(4, n_nodes=2).run(X)
+        assert res.counters["stage1"]["dasc"]["signatures_emitted"] == X.shape[0]
+        assert res.counters["stage2"]["dasc"]["buckets_reduced"] == res.n_buckets
+
+    def test_non_axis_hasher_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedDASC(4, config=DASCConfig(hasher="pca"))
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            DistributedDASC(4, n_nodes=0)
+
+    def test_s3_artifacts_written(self, blobs_small):
+        X, _ = blobs_small
+        from repro.mapreduce import ElasticMapReduce
+
+        emr = ElasticMapReduce()
+        DistributedDASC(4, n_nodes=2, emr=emr).run(X)
+        keys = emr.s3.list_keys()
+        assert any(k.endswith("/input") for k in keys)
+        assert any(k.endswith("/output/labels") for k in keys)
+
+
+class TestMahoutSpectralMode:
+    def test_matches_inline_mode_partitions(self, blobs_small):
+        """Algorithm-2-verbatim + Mahout-style MR spectral clustering yields
+        the same clustering structure as the inline reducers."""
+        X, y = blobs_small
+        inline = DistributedDASC(
+            4, n_nodes=4, config=DASCConfig(seed=0), spectral_mode="inline"
+        ).run(X)
+        mahout = DistributedDASC(
+            4, n_nodes=4, config=DASCConfig(seed=0), spectral_mode="mahout"
+        ).run(X)
+        assert mahout.labels.shape == inline.labels.shape
+        assert normalized_mutual_info(inline.labels, mahout.labels) > 0.9
+        assert clustering_accuracy(y, mahout.labels) > 0.9
+        # Same buckets either way (stage 1 + merge are identical).
+        assert mahout.n_buckets == inline.n_buckets
+
+    def test_similarity_matrices_counted(self, blobs_small):
+        X, _ = blobs_small
+        res = DistributedDASC(
+            4, n_nodes=2, config=DASCConfig(seed=0), spectral_mode="mahout"
+        ).run(X)
+        written = res.counters["stage2"]["dasc"]["similarity_matrices_written"]
+        assert written == res.n_buckets
+
+    def test_makespan_includes_spectral_jobs(self, blobs_small):
+        X, _ = blobs_small
+        res = DistributedDASC(
+            4, n_nodes=2, config=DASCConfig(seed=0), spectral_mode="mahout"
+        ).run(X)
+        assert res.makespan > res.stage_makespans["lsh"]
+        assert res.stage_makespans["spectral"] > 0
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            DistributedDASC(4, spectral_mode="sparkly")

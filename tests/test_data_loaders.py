@@ -1,0 +1,77 @@
+"""Tests for dataset persistence and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import load_csv, save_csv, train_test_split
+
+
+class TestCsvRoundtrip:
+    def test_features_only(self, tmp_path, rng):
+        X = rng.uniform(0, 1, (20, 5))
+        path = tmp_path / "x.csv"
+        save_csv(path, X)
+        loaded, labels = load_csv(path)
+        assert labels is None
+        assert np.allclose(loaded, X)
+
+    def test_with_labels(self, tmp_path, rng):
+        X = rng.uniform(0, 1, (15, 3))
+        y = rng.integers(0, 4, 15)
+        path = tmp_path / "xy.csv"
+        save_csv(path, X, y)
+        loaded, labels = load_csv(path, label_column=-1)
+        assert np.allclose(loaded, X)
+        assert np.array_equal(labels, y)
+
+    def test_exact_float_roundtrip(self, tmp_path):
+        X = np.array([[1 / 3, np.pi], [1e-17, 1e17]])
+        path = tmp_path / "precise.csv"
+        save_csv(path, X)
+        loaded, _ = load_csv(path)
+        assert np.array_equal(loaded, X)  # repr() round-trips floats exactly
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.uniform(0, 1, (100, 4))
+        tr, te = train_test_split(X, test_fraction=0.25, seed=0)
+        assert tr.shape[0] == 75 and te.shape[0] == 25
+
+    def test_partition_is_exact(self, rng):
+        X = np.arange(40, dtype=float).reshape(20, 2)
+        tr, te = train_test_split(X, test_fraction=0.3, seed=1)
+        combined = np.vstack([tr, te])
+        assert sorted(map(tuple, combined)) == sorted(map(tuple, X))
+
+    def test_labels_travel_with_rows(self, rng):
+        X = rng.uniform(0, 1, (30, 2))
+        y = np.arange(30)
+        tr_x, te_x, tr_y, te_y = train_test_split(X, y, test_fraction=0.2, seed=2)
+        # Label i belongs to row i: check correspondence survived the shuffle.
+        for row, label in zip(te_x, te_y):
+            assert np.allclose(row, X[label])
+
+    def test_deterministic(self, rng):
+        X = rng.uniform(0, 1, (25, 3))
+        a = train_test_split(X, seed=5)[1]
+        b = train_test_split(X, seed=5)[1]
+        assert np.array_equal(a, b)
+
+    def test_minimum_sizes(self):
+        X = np.arange(4, dtype=float).reshape(2, 2)
+        tr, te = train_test_split(X, test_fraction=0.01, seed=0)
+        assert te.shape[0] == 1 and tr.shape[0] == 1
+
+    def test_validation(self, rng):
+        X = rng.uniform(0, 1, (10, 2))
+        with pytest.raises(ValueError):
+            train_test_split(X, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((1, 2)))

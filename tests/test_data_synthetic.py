@@ -1,0 +1,78 @@
+"""Tests for the synthetic point-cloud generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_blobs, make_moons, make_rings, make_uniform
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        X = make_uniform(100, 64, seed=0)
+        assert X.shape == (100, 64)
+        assert X.min() >= 0.0 and X.max() <= 1.0
+
+    def test_deterministic(self):
+        assert np.array_equal(make_uniform(10, 4, seed=1), make_uniform(10, 4, seed=1))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            make_uniform(0)
+
+
+class TestBlobs:
+    def test_shapes_and_labels(self):
+        X, y = make_blobs(100, n_clusters=7, n_features=10, seed=0)
+        assert X.shape == (100, 10)
+        assert y.shape == (100,)
+        assert set(np.unique(y)) == set(range(7))
+
+    def test_sizes_balanced(self):
+        _, y = make_blobs(103, n_clusters=4, seed=0)
+        counts = np.bincount(y)
+        assert counts.max() - counts.min() <= 1
+
+    def test_values_clipped_to_box(self):
+        X, _ = make_blobs(500, n_clusters=3, cluster_std=0.5, seed=0)
+        assert X.min() >= 0.0 and X.max() <= 1.0
+
+    def test_clusters_are_tight(self):
+        X, y = make_blobs(200, n_clusters=2, n_features=8, cluster_std=0.01, seed=0)
+        for c in (0, 1):
+            spread = X[y == c].std(axis=0).mean()
+            assert spread < 0.05
+
+    def test_shuffled(self):
+        _, y = make_blobs(100, n_clusters=2, seed=0)
+        # Not sorted: both labels appear in the first half.
+        assert len(set(y[:50])) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            make_blobs(3, n_clusters=5)
+        with pytest.raises(ValueError):
+            make_blobs(10, cluster_std=-1.0)
+
+
+class TestShapes:
+    def test_rings_radii_separate(self):
+        X, y = make_rings(400, n_rings=2, noise=0.01, seed=0)
+        assert X.shape == (400, 2)
+        center = X.mean(axis=0)
+        radii = np.linalg.norm(X - center, axis=1)
+        assert radii[y == 0].mean() < radii[y == 1].mean()
+
+    def test_rings_in_unit_box(self):
+        X, _ = make_rings(200, seed=1)
+        assert X.min() >= 0.0 and X.max() <= 1.0
+
+    def test_moons_two_classes(self):
+        X, y = make_moons(300, seed=0)
+        assert X.shape == (300, 2)
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            make_rings(1, n_rings=2)
+        with pytest.raises(ValueError):
+            make_moons(1)

@@ -1,0 +1,153 @@
+"""Tests for the text pipeline: HTML stripping, tokenizing, Porter stemming, tf-idf."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import STOP_WORDS, PorterStemmer, TfIdfVectorizer, clean_html, preprocess_document, tokenize
+
+
+class TestCleanHtml:
+    def test_strips_tags(self):
+        assert clean_html("<p>hello <b>world</b></p>").split() == ["hello", "world"]
+
+    def test_strips_entities(self):
+        assert clean_html("a&nbsp;b &amp; c").split() == ["a", "b", "c"]
+
+    def test_plain_text_unchanged(self):
+        assert clean_html("just words") == "just words"
+
+    def test_nested_and_attributes(self):
+        html = '<div class="x"><a href="/y">link text</a></div>'
+        assert clean_html(html).split() == ["link", "text"]
+
+
+class TestTokenize:
+    def test_lowercases_and_strips_punct(self):
+        assert tokenize("Hello, World! It's 2012.") == ["hello", "world", "its"]
+
+    def test_empty(self):
+        assert tokenize("... 123 !!!") == []
+
+
+class TestStopWords:
+    def test_common_words_present(self):
+        assert {"the", "and", "of", "is", "a"} <= STOP_WORDS
+
+    def test_content_words_absent(self):
+        assert {"science", "politics", "cluster"} & STOP_WORDS == set()
+
+
+class TestPorterStemmer:
+    # End-to-end stems from the canonical Porter test vocabulary (note these
+    # differ from the paper's per-step examples: later steps keep stripping,
+    # e.g. relational -> relate in step 2 -> relat after step 5a).
+    KNOWN = {
+        # step 1a dominates
+        "caresses": "caress", "ponies": "poni", "cats": "cat", "caress": "caress",
+        # step 1b dominates
+        "feed": "feed", "agreed": "agre", "plastered": "plaster", "bled": "bled",
+        "motoring": "motor", "sing": "sing", "conflated": "conflat",
+        "hopping": "hop", "falling": "fall", "hissing": "hiss", "filing": "file",
+        # step 1c
+        "happy": "happi", "sky": "sky",
+        # step 2 entry points
+        "relational": "relat", "conditional": "condit", "rational": "ration",
+        "valenci": "valenc", "digitizer": "digit", "radicalli": "radic",
+        "operator": "oper", "feudalism": "feudal", "decisiveness": "decis",
+        "hopefulness": "hope", "formaliti": "formal", "sensitiviti": "sensit",
+        # step 3 entry points
+        "triplicate": "triplic", "formative": "form", "formalize": "formal",
+        "electriciti": "electr", "electrical": "electr", "hopeful": "hope",
+        "goodness": "good",
+        # step 4
+        "revival": "reviv", "allowance": "allow", "inference": "infer",
+        "adjustable": "adjust", "defensible": "defens", "irritant": "irrit",
+        "replacement": "replac", "adjustment": "adjust", "dependent": "depend",
+        "adoption": "adopt", "communism": "commun", "activate": "activ",
+        "effective": "effect",
+        # step 5
+        "probate": "probat", "rate": "rate", "cease": "ceas", "controll": "control",
+        "roll": "roll",
+    }
+
+    @pytest.mark.parametrize("word,stem", sorted(KNOWN.items()))
+    def test_known_stems(self, word, stem):
+        assert PorterStemmer().stem(word) == stem
+
+    def test_short_words_untouched(self):
+        s = PorterStemmer()
+        assert s.stem("be") == "be"
+        assert s.stem("i") == "i"
+
+    def test_idempotent_on_common_words(self):
+        """Stemming a stem should rarely change it further (fixed point)."""
+        s = PorterStemmer()
+        words = ["running", "clusters", "computation", "databases", "engineering"]
+        for w in words:
+            once = s.stem(w)
+            assert s.stem(once) == s.stem(once)  # calling again is stable
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15))
+    @settings(max_examples=200, deadline=None)
+    def test_never_crashes_and_never_grows_much(self, word):
+        out = PorterStemmer().stem(word)
+        assert isinstance(out, str)
+        assert len(out) <= len(word) + 1  # only 'e'-restoration can grow a stem
+
+
+class TestPreprocess:
+    def test_full_pipeline(self):
+        html = "<p>The Clusters are forming and CLUSTERING continues</p>"
+        tokens = preprocess_document(html, is_html=True)
+        assert "the" not in tokens and "and" not in tokens
+        assert tokens.count("cluster") == 2  # clusters + clustering both stem
+
+
+class TestTfIdf:
+    DOCS = [
+        ["apple", "apple", "banana"],
+        ["apple", "cherry"],
+        ["banana", "cherry", "cherry"],
+        ["apple", "banana", "cherry"],
+    ]
+
+    def test_vocabulary_size_capped(self):
+        v = TfIdfVectorizer(n_features=2, min_df=1).fit(self.DOCS)
+        assert len(v.vocabulary_) == 2
+
+    def test_matrix_shape_and_range(self):
+        X = TfIdfVectorizer(n_features=3, min_df=1).fit_transform(self.DOCS)
+        assert X.shape == (4, 3)
+        assert X.min() >= 0.0 and X.max() == pytest.approx(1.0)
+
+    def test_absent_term_is_zero(self):
+        v = TfIdfVectorizer(n_features=3, min_df=1).fit(self.DOCS)
+        X = v.transform([["apple"]])
+        j = v.vocabulary_["apple"]
+        assert X[0, j] > 0
+        assert X[0, [i for i in range(3) if i != j]].sum() == 0.0
+
+    def test_min_df_filters_rare_terms(self):
+        docs = self.DOCS + [["unique_term"]]
+        v = TfIdfVectorizer(n_features=10, min_df=2).fit(docs)
+        assert "unique_term" not in v.vocabulary_
+
+    def test_rare_terms_have_higher_idf(self):
+        docs = [["common", "rare"], ["common"], ["common"], ["common", "rare"]]
+        v = TfIdfVectorizer(n_features=2, min_df=1).fit(docs)
+        assert v.idf_[v.vocabulary_["rare"]] > v.idf_[v.vocabulary_["common"]]
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            TfIdfVectorizer().transform([["x"]])
+
+    def test_all_terms_below_min_df(self):
+        with pytest.raises(ValueError):
+            TfIdfVectorizer(min_df=5).fit([["a"], ["b"]])
+
+    def test_deterministic_column_order(self):
+        a = TfIdfVectorizer(n_features=3, min_df=1).fit(self.DOCS).vocabulary_
+        b = TfIdfVectorizer(n_features=3, min_df=1).fit(self.DOCS).vocabulary_
+        assert a == b

@@ -1,0 +1,131 @@
+"""Tests for the Wikipedia-like corpus generator, vectorizer, and crawler."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Crawler,
+    SyntheticWikipedia,
+    WikipediaCorpusConfig,
+    generate_corpus,
+    make_wikipedia_dataset,
+    vectorize_corpus,
+)
+from repro.data.wikipedia import TABLE1_CATEGORIES
+
+
+class TestGenerateCorpus:
+    def test_document_count(self):
+        corpus = generate_corpus(n_documents=200, n_categories=5, seed=0)
+        assert corpus.n_documents == 200
+        assert corpus.n_categories == 5
+
+    def test_eq15_default_categories(self):
+        corpus = generate_corpus(n_documents=1024, seed=0)
+        assert corpus.n_categories == 17  # Table 1's first row
+
+    def test_labels_cover_all_categories(self):
+        corpus = generate_corpus(n_documents=120, n_categories=6, seed=0)
+        assert set(np.unique(corpus.labels())) == set(range(6))
+
+    def test_balanced_category_sizes(self):
+        corpus = generate_corpus(n_documents=103, n_categories=4, seed=0)
+        counts = np.bincount(corpus.labels())
+        assert counts.max() - counts.min() <= 1
+
+    def test_documents_contain_stop_words(self):
+        corpus = generate_corpus(n_documents=20, n_categories=2, seed=0)
+        text = " ".join(d.text for d in corpus.documents)
+        assert any(w in text.split() for w in ("the", "and", "of", "with"))
+
+    def test_deterministic(self):
+        a = generate_corpus(n_documents=50, n_categories=3, seed=7)
+        b = generate_corpus(n_documents=50, n_categories=3, seed=7)
+        assert [d.text for d in a.documents] == [d.text for d in b.documents]
+
+    def test_categories_clipped_to_docs(self):
+        corpus = generate_corpus(n_documents=3, n_categories=10, seed=0)
+        assert corpus.n_categories == 3
+
+    def test_invalid_options(self):
+        with pytest.raises(TypeError):
+            generate_corpus(bogus=1)
+        with pytest.raises(ValueError):
+            generate_corpus(n_documents=0)
+        with pytest.raises(ValueError):
+            generate_corpus(n_documents=10, topic_weight=1.5)
+
+    def test_table1_reference_values(self):
+        # The recorded paper data itself (used by the Table-1 bench).
+        assert TABLE1_CATEGORIES[1024] == 17
+        assert TABLE1_CATEGORIES[2097152] == 42493
+        assert len(TABLE1_CATEGORIES) == 12
+
+
+class TestVectorize:
+    def test_feature_count_matches_paper_f(self, wiki_small):
+        X, y, corpus = wiki_small
+        assert X.shape == (512, 11)
+
+    def test_values_normalised(self, wiki_small):
+        X, _, _ = wiki_small
+        assert X.min() >= 0.0 and X.max() == pytest.approx(1.0)
+
+    def test_labels_align(self, wiki_small):
+        X, y, corpus = wiki_small
+        assert y.shape == (X.shape[0],)
+        assert np.array_equal(y, corpus.labels())
+
+    def test_categories_are_separable(self, wiki_small):
+        """Same-category documents must be closer than cross-category ones."""
+        X, y, _ = wiki_small
+        within, across = [], []
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            i, j = rng.integers(0, len(X), 2)
+            d = np.linalg.norm(X[i] - X[j])
+            (within if y[i] == y[j] else across).append(d)
+        assert np.mean(within) < 0.5 * np.mean(across)
+
+    def test_one_call_helper(self):
+        X, y = make_wikipedia_dataset(64, n_categories=4, seed=1)
+        assert X.shape[0] == 64 and len(np.unique(y)) == 4
+
+
+class TestCrawler:
+    @pytest.fixture(scope="class")
+    def site(self):
+        return SyntheticWikipedia(n_documents=120, n_categories=6, seed=0)
+
+    def test_crawl_recovers_all_documents(self, site):
+        result = Crawler(site).crawl()
+        assert result.n_documents == 120
+
+    def test_bullet_classes_in_category_pages(self, site):
+        html = site.fetch("/wiki/Portal:Contents/Categories")
+        assert "CategoryTreeBullet" in html or "CategoryTreeEmptyBullet" in html
+
+    def test_tree_edges_form_a_tree(self, site):
+        result = Crawler(site).crawl()
+        children = [c for _, c in result.tree_edges]
+        assert len(children) == len(set(children))  # each node has one parent
+
+    def test_max_pages_cap(self, site):
+        result = Crawler(site).crawl(max_pages=30)
+        assert result.n_documents <= 30 + 25  # cap is checked between pages
+
+    def test_article_pages_are_html(self, site):
+        result = Crawler(site).crawl()
+        url, html = next(iter(result.article_html.items()))
+        assert html.startswith("<html>")
+        assert site.category_of(url) in range(6)
+
+    def test_crawled_text_pipeline_end_to_end(self, site):
+        from repro.data import TfIdfVectorizer, preprocess_document
+
+        result = Crawler(site).crawl()
+        urls = sorted(result.article_html)[:50]
+        tokens = [preprocess_document(result.article_html[u], is_html=True) for u in urls]
+        X = TfIdfVectorizer(n_features=8).fit_transform(tokens)
+        assert X.shape == (50, 8)
+        assert (X >= 0).all()

@@ -1,0 +1,161 @@
+"""Tests for the affinity-graph substrate (construction, components, cuts)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    conductance,
+    connected_components,
+    cut_weight,
+    epsilon_graph,
+    is_connected,
+    knn_graph,
+    normalized_cut,
+)
+from repro.spectral import normalized_laplacian
+
+
+class TestBuild:
+    def test_knn_graph_symmetric_and_bounded(self, blobs_small):
+        X, _ = blobs_small
+        S = knn_graph(X, 8, sigma=0.3)
+        assert (S != S.T).nnz == 0
+        assert S.nnz <= 2 * 8 * X.shape[0]
+        assert np.allclose(S.diagonal(), 0.0)
+
+    def test_mutual_knn_sparser(self, blobs_small):
+        X, _ = blobs_small
+        either = knn_graph(X, 8, sigma=0.3, symmetrize="max")
+        mutual = knn_graph(X, 8, sigma=0.3, symmetrize="min")
+        assert mutual.nnz <= either.nnz
+
+    def test_blocked_construction_invariant(self, blobs_small):
+        X, _ = blobs_small
+        a = knn_graph(X, 5, sigma=0.3, block_size=33)
+        b = knn_graph(X, 5, sigma=0.3, block_size=10_000)
+        assert (a != b).nnz == 0
+
+    def test_epsilon_graph_edges_within_radius(self, rng):
+        X = rng.uniform(0, 1, (40, 3))
+        eps = 0.4
+        S = epsilon_graph(X, eps, sigma=0.5).toarray()
+        for i in range(40):
+            for j in range(40):
+                d = np.linalg.norm(X[i] - X[j])
+                if i != j and d <= eps:
+                    assert S[i, j] > 0
+                else:
+                    if i == j or d > eps:
+                        assert S[i, j] == 0
+
+    def test_validation(self, rng):
+        X = rng.uniform(0, 1, (10, 2))
+        with pytest.raises(ValueError):
+            knn_graph(X, 0)
+        with pytest.raises(ValueError):
+            knn_graph(X, 3, symmetrize="sometimes")
+        with pytest.raises(ValueError):
+            epsilon_graph(X, 0.0)
+
+
+class TestComponents:
+    def test_two_cliques(self):
+        S = np.zeros((6, 6))
+        S[:3, :3] = 1.0
+        S[3:, 3:] = 1.0
+        np.fill_diagonal(S, 0.0)
+        labels = connected_components(S)
+        assert len(np.unique(labels)) == 2
+        assert len(set(labels[:3])) == 1 and len(set(labels[3:])) == 1
+        assert not is_connected(S)
+
+    def test_path_graph_connected(self):
+        n = 10
+        S = sp.diags([np.ones(n - 1), np.ones(n - 1)], offsets=[1, -1])
+        assert is_connected(S)
+
+    def test_isolated_vertices(self):
+        S = np.zeros((4, 4))
+        labels = connected_components(S)
+        assert len(np.unique(labels)) == 4
+
+    def test_directed_entries_treated_undirected(self):
+        S = np.zeros((3, 3))
+        S[0, 1] = 1.0  # only one direction stored
+        labels = connected_components(S)
+        assert labels[0] == labels[1] != labels[2]
+
+    def test_matches_laplacian_eigenvalue_multiplicity(self, rng):
+        """#components == multiplicity of eigenvalue 1 of D^{-1/2}SD^{-1/2}."""
+        blocks = []
+        for size in (4, 5, 6):
+            B = rng.uniform(0.2, 1.0, (size, size))
+            B = (B + B.T) / 2
+            np.fill_diagonal(B, 0.0)
+            blocks.append(B)
+        n = sum(b.shape[0] for b in blocks)
+        S = np.zeros((n, n))
+        pos = 0
+        for b in blocks:
+            S[pos : pos + b.shape[0], pos : pos + b.shape[0]] = b
+            pos += b.shape[0]
+        comp = len(np.unique(connected_components(S)))
+        eigs = np.linalg.eigvalsh(normalized_laplacian(S))
+        mult = int(np.sum(eigs > 1.0 - 1e-9))
+        assert comp == mult == 3
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            connected_components(np.zeros((2, 3)))
+
+
+class TestCuts:
+    def test_cut_weight_hand_value(self):
+        S = np.array([
+            [0.0, 1.0, 0.5],
+            [1.0, 0.0, 0.0],
+            [0.5, 0.0, 0.0],
+        ])
+        labels = np.array([0, 0, 1])
+        assert cut_weight(S, labels) == pytest.approx(0.5)
+
+    def test_single_cluster_zero_cut(self, rng):
+        S = rng.uniform(0, 1, (8, 8))
+        S = (S + S.T) / 2
+        assert cut_weight(S, np.zeros(8, dtype=int)) == 0.0
+        assert normalized_cut(S, np.zeros(8, dtype=int)) == 0.0
+
+    def test_perfect_block_partition_has_zero_ncut(self):
+        S = np.zeros((6, 6))
+        S[:3, :3] = 1.0
+        S[3:, 3:] = 1.0
+        np.fill_diagonal(S, 0.0)
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        assert normalized_cut(S, labels) == 0.0
+        assert conductance(S, labels) == 0.0
+
+    def test_spectral_labels_have_lower_ncut_than_random(self, blobs_small):
+        from repro.kernels import GaussianKernel, gram_matrix
+        from repro.spectral import SpectralClustering
+
+        X, _ = blobs_small
+        S = gram_matrix(X, GaussianKernel(0.3), zero_diagonal=True)
+        spectral = SpectralClustering(4, sigma=0.3, seed=0).fit_predict(X)
+        rng = np.random.default_rng(0)
+        random_labels = rng.integers(0, 4, len(X))
+        assert normalized_cut(S, spectral) < normalized_cut(S, random_labels)
+        assert conductance(S, spectral) < conductance(S, random_labels)
+
+    @given(st.integers(0, 15))
+    @settings(max_examples=20, deadline=None)
+    def test_ncut_nonnegative_and_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        S = rng.uniform(0, 1, (12, 12))
+        S = (S + S.T) / 2
+        np.fill_diagonal(S, 0.0)
+        labels = rng.integers(0, 3, 12)
+        val = normalized_cut(S, labels)
+        assert 0.0 <= val <= len(np.unique(labels))

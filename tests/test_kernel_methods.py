@@ -1,0 +1,185 @@
+"""Tests for kernel PCA and kernel K-Means over exact and approximated kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core import DASC
+from repro.kernel_methods import KernelKMeans, KernelPCA, centre_gram
+from repro.kernels import GaussianKernel, LinearKernel, gram_matrix
+from repro.metrics import clustering_accuracy, normalized_mutual_info
+
+
+class TestCentreGram:
+    def test_centred_matrix_has_zero_means(self, rng):
+        K = rng.standard_normal((10, 10))
+        K = K @ K.T
+        Kc = centre_gram(K)
+        assert np.allclose(Kc.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Kc.mean(axis=1), 0.0, atol=1e-10)
+
+    def test_idempotent(self, rng):
+        K = rng.standard_normal((8, 8))
+        K = K @ K.T
+        assert np.allclose(centre_gram(centre_gram(K)), centre_gram(K))
+
+
+class TestKernelPCA:
+    def test_linear_kernel_matches_pca(self, rng):
+        """KPCA with the linear kernel reproduces ordinary PCA scores."""
+        X = rng.standard_normal((40, 6))
+        K = gram_matrix(X, LinearKernel())
+        scores = KernelPCA(3).fit_transform(K)
+        Xc = X - X.mean(axis=0)
+        _, s, vt = np.linalg.svd(Xc, full_matrices=False)
+        pca_scores = Xc @ vt[:3].T
+        # Same subspace up to per-component sign.
+        for j in range(3):
+            corr = abs(np.corrcoef(scores[:, j], pca_scores[:, j])[0, 1])
+            assert corr > 0.999
+
+    def test_eigenvalues_descending_nonnegative(self, rng):
+        X = rng.standard_normal((30, 4))
+        K = gram_matrix(X, GaussianKernel(1.0))
+        kpca = KernelPCA(5).fit(K)
+        vals = kpca.eigenvalues_
+        assert (vals >= 0).all()
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_explained_ratio_sums_to_one(self, rng):
+        X = rng.standard_normal((25, 3))
+        kpca = KernelPCA(4).fit(gram_matrix(X, GaussianKernel(1.0)))
+        assert kpca.explained_ratio().sum() == pytest.approx(1.0)
+
+    def test_accepts_approximate_kernel(self, blobs_small):
+        X, _ = blobs_small
+        approx = DASC(seed=0, sigma=0.3, n_bits=4).transform(X)
+        scores = KernelPCA(4).fit_transform(approx)
+        assert scores.shape == (X.shape[0], 4)
+
+    def test_approx_projection_close_to_exact_on_clustered_data(self, blobs_small):
+        X, _ = blobs_small
+        dasc = DASC(seed=0, sigma=0.3, n_bits=4)
+        approx = dasc.transform(X)
+        exact = gram_matrix(X, GaussianKernel(0.3), zero_diagonal=True)
+        a = KernelPCA(4).fit_transform(approx)
+        b = KernelPCA(4).fit_transform(exact)
+        # Subspace alignment via principal angles.
+        qa, _ = np.linalg.qr(a)
+        qb, _ = np.linalg.qr(b)
+        sv = np.linalg.svd(qa.T @ qb, compute_uv=False)
+        assert sv.mean() > 0.9
+
+    def test_invalid_components(self):
+        with pytest.raises(ValueError):
+            KernelPCA(0)
+
+    def test_explained_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KernelPCA(2).explained_ratio()
+
+
+class TestKernelKMeans:
+    def test_recovers_blobs_from_full_kernel(self, blobs_small):
+        X, y = blobs_small
+        K = gram_matrix(X, GaussianKernel(0.3))
+        labels = KernelKMeans(4, seed=0).fit_predict(K)
+        assert clustering_accuracy(y, labels) > 0.95
+
+    def test_blockwise_on_approximate_kernel(self, blobs_small):
+        X, y = blobs_small
+        approx = DASC(seed=0, sigma=0.3, n_bits=4).transform(X)
+        km = KernelKMeans(4, seed=0).fit(approx)
+        assert km.labels_.shape == (X.shape[0],)
+        assert normalized_mutual_info(y, km.labels_) > 0.7
+
+    def test_inertia_nonnegative_and_improves_with_restarts(self, rng):
+        X = rng.uniform(0, 1, (80, 5))
+        K = gram_matrix(X, GaussianKernel(0.5))
+        one = KernelKMeans(5, n_init=1, seed=3).fit(K).inertia_
+        many = KernelKMeans(5, n_init=6, seed=3).fit(K).inertia_
+        assert many <= one + 1e-9
+        assert many >= -1e-9
+
+    def test_exact_cluster_count(self, blobs_small):
+        X, _ = blobs_small
+        K = gram_matrix(X, GaussianKernel(0.3))
+        labels = KernelKMeans(4, seed=1).fit_predict(K)
+        assert len(np.unique(labels)) == 4
+
+    def test_nonconvex_shapes_with_gaussian_kernel(self):
+        """Kernel K-Means separates the rings plain K-Means cannot."""
+        from repro.data import make_rings
+        from repro.spectral import KMeans
+
+        X, y = make_rings(300, n_rings=2, noise=0.02, seed=4)
+        K = gram_matrix(X, GaussianKernel(0.05))
+        kk = clustering_accuracy(y, KernelKMeans(2, n_init=10, seed=0).fit_predict(K))
+        plain = clustering_accuracy(y, KMeans(2, seed=0).fit_predict(X))
+        assert kk > plain
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelKMeans(0)
+        with pytest.raises(ValueError):
+            KernelKMeans(5).fit(np.eye(3))
+
+
+class TestKernelSVM:
+    @staticmethod
+    def _two_class_data(seed=0, n=120, margin=1.5):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(-margin / 2, 0.4, (n // 2, 2))
+        b = rng.normal(margin / 2, 0.4, (n // 2, 2))
+        X = np.vstack([a, b])
+        y = np.concatenate([np.zeros(n // 2, dtype=int), np.ones(n // 2, dtype=int)])
+        order = rng.permutation(n)
+        return X[order], y[order]
+
+    def test_separable_data_high_accuracy(self):
+        from repro.kernel_methods import KernelSVM
+
+        X, y = self._two_class_data(margin=3.0)
+        svm = KernelSVM(sigma=1.0, C=1.0, seed=0).fit(X, y)
+        assert svm.score(X, y) > 0.97
+
+    def test_nonlinear_boundary(self):
+        """Gaussian-kernel SVM separates the rings a linear rule cannot."""
+        from repro.data import make_rings
+        from repro.kernel_methods import KernelSVM
+        from repro.kernels import LinearKernel
+
+        X, y = make_rings(200, n_rings=2, noise=0.02, seed=1)
+        rbf = KernelSVM(sigma=0.1, C=10.0, seed=0).fit(X, y)
+        linear = KernelSVM(kernel=LinearKernel(), C=10.0, seed=0).fit(X, y)
+        assert rbf.score(X, y) > 0.95
+        assert rbf.score(X, y) > linear.score(X, y)
+
+    def test_predictions_use_original_labels(self):
+        from repro.kernel_methods import KernelSVM
+
+        X, y = self._two_class_data()
+        y = y + 5  # labels {5, 6}
+        svm = KernelSVM(sigma=1.0, seed=0).fit(X, y)
+        assert set(np.unique(svm.predict(X))) <= {5, 6}
+
+    def test_support_vectors_subset(self):
+        from repro.kernel_methods import KernelSVM
+
+        X, y = self._two_class_data(margin=3.0)
+        svm = KernelSVM(sigma=1.0, C=1.0, seed=0).fit(X, y)
+        # Well-separated data: only boundary points stay support vectors.
+        assert 0 < len(svm.support_) < len(X)
+
+    def test_validation(self):
+        from repro.kernel_methods import KernelSVM
+
+        with pytest.raises(ValueError):
+            KernelSVM(C=0.0)
+        with pytest.raises(ValueError):
+            KernelSVM().fit(np.ones((4, 2)), [0, 0, 0, 0])  # one class
+
+    def test_decision_before_fit(self):
+        from repro.kernel_methods import KernelSVM
+
+        with pytest.raises(RuntimeError):
+            KernelSVM().decision_function(np.ones((2, 2)))

@@ -1,0 +1,170 @@
+"""Tests for kernel functions, Gram matrices, and bandwidth heuristics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    CosineKernel,
+    GaussianKernel,
+    LaplacianKernel,
+    LinearKernel,
+    PolynomialKernel,
+    get_kernel,
+    gram_matrix,
+    gram_matrix_blocked,
+    mean_knn_heuristic,
+    median_heuristic,
+    pairwise_sq_distances,
+)
+
+ALL_KERNELS = [
+    GaussianKernel(0.7),
+    LaplacianKernel(1.2),
+    LinearKernel(),
+    PolynomialKernel(degree=2, gamma=0.5, coef0=1.0),
+    CosineKernel(),
+]
+
+
+def random_X(seed, n=20, d=5):
+    return np.random.default_rng(seed).uniform(-1, 1, (n, d))
+
+
+class TestPairwiseDistances:
+    def test_matches_naive(self, rng):
+        X = rng.uniform(0, 1, (15, 4))
+        Y = rng.uniform(0, 1, (7, 4))
+        d2 = pairwise_sq_distances(X, Y)
+        naive = ((X[:, None, :] - Y[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(d2, naive)
+
+    def test_self_distances_zero_diag(self, rng):
+        X = rng.uniform(0, 1, (10, 3))
+        assert np.allclose(np.diag(pairwise_sq_distances(X)), 0.0)
+
+    def test_nonnegative_despite_cancellation(self):
+        # Nearly identical large-magnitude points provoke cancellation.
+        X = np.full((5, 3), 1e8) + np.arange(15).reshape(5, 3) * 1e-8
+        assert (pairwise_sq_distances(X) >= 0).all()
+
+
+class TestKernelFunctions:
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: type(k).__name__)
+    def test_symmetry(self, kernel):
+        X = random_X(0)
+        K = kernel(X)
+        assert np.allclose(K, K.T)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: type(k).__name__)
+    def test_positive_semidefinite(self, kernel):
+        X = random_X(1, n=15)
+        K = kernel(X)
+        eigs = np.linalg.eigvalsh((K + K.T) / 2)
+        assert eigs.min() > -1e-8
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: type(k).__name__)
+    def test_diagonal_shortcut_matches(self, kernel):
+        X = random_X(2, n=8)
+        assert np.allclose(kernel.diagonal(X), np.diag(kernel(X)))
+
+    def test_gaussian_eq1_value(self):
+        """Eq. (1): S = exp(-||x-y||^2 / (2 sigma^2))."""
+        k = GaussianKernel(sigma=2.0)
+        X = np.array([[0.0, 0.0], [3.0, 4.0]])  # distance 5
+        assert k(X)[0, 1] == pytest.approx(np.exp(-25.0 / 8.0))
+
+    def test_gaussian_range(self, rng):
+        K = GaussianKernel(0.5)(rng.uniform(0, 1, (30, 6)))
+        assert (K > 0).all() and (K <= 1.0 + 1e-12).all()
+
+    def test_gaussian_bandwidth_controls_decay(self):
+        X = np.array([[0.0], [1.0]])
+        assert GaussianKernel(0.1)(X)[0, 1] < GaussianKernel(10.0)(X)[0, 1]
+
+    def test_cosine_zero_vector_safe(self):
+        X = np.array([[0.0, 0.0], [1.0, 0.0]])
+        K = CosineKernel()(X)
+        assert K[0, 1] == 0.0 and np.isfinite(K).all()
+
+    def test_cross_kernel_shape(self):
+        k = GaussianKernel(1.0)
+        K = k(random_X(0, n=6), random_X(1, n=9))
+        assert K.shape == (6, 9)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            GaussianKernel(1.0)(random_X(0, d=3), random_X(1, d=4))
+
+    @pytest.mark.parametrize("name,cls", [
+        ("gaussian", GaussianKernel), ("rbf", GaussianKernel),
+        ("linear", LinearKernel), ("cosine", CosineKernel),
+    ])
+    def test_registry(self, name, cls):
+        assert isinstance(get_kernel(name), cls)
+
+    def test_registry_unknown(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            get_kernel("sigmoid")
+
+    @pytest.mark.parametrize("bad", [
+        lambda: GaussianKernel(0.0),
+        lambda: PolynomialKernel(degree=0),
+        lambda: PolynomialKernel(coef0=-1.0),
+    ])
+    def test_invalid_params(self, bad):
+        with pytest.raises(ValueError):
+            bad()
+
+
+class TestGramMatrix:
+    def test_zero_diagonal_flag(self, rng):
+        X = rng.uniform(0, 1, (12, 4))
+        K = gram_matrix(X, GaussianKernel(1.0), zero_diagonal=True)
+        assert np.allclose(np.diag(K), 0.0)
+        K2 = gram_matrix(X, GaussianKernel(1.0))
+        assert np.allclose(np.diag(K2), 1.0)
+
+    @given(st.integers(1, 7), st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_blocked_matches_plain(self, block_size, seed):
+        X = random_X(seed, n=23, d=4)
+        k = GaussianKernel(0.8)
+        plain = gram_matrix(X, k)
+        blocked = gram_matrix_blocked(X, k, block_size=block_size)
+        assert np.allclose(plain, blocked)
+
+    def test_blocked_zero_diagonal(self, rng):
+        X = rng.uniform(0, 1, (10, 3))
+        K = gram_matrix_blocked(X, GaussianKernel(1.0), block_size=3, zero_diagonal=True)
+        assert np.allclose(np.diag(K), 0.0)
+
+    def test_blocked_invalid_block(self, rng):
+        with pytest.raises(ValueError):
+            gram_matrix_blocked(rng.uniform(0, 1, (4, 2)), GaussianKernel(1.0), block_size=0)
+
+
+class TestBandwidth:
+    def test_median_heuristic_scale_equivariant(self, rng):
+        X = rng.uniform(0, 1, (100, 5))
+        assert median_heuristic(3.0 * X) == pytest.approx(3.0 * median_heuristic(X), rel=0.05)
+
+    def test_median_degenerate_data(self):
+        assert median_heuristic(np.ones((10, 3))) == 1.0
+
+    def test_median_subsamples_large_input(self, rng):
+        X = rng.uniform(0, 1, (2000, 3))
+        assert median_heuristic(X, max_samples=64) > 0
+
+    def test_knn_heuristic_smaller_than_median_for_clusters(self, blobs_small):
+        X, _ = blobs_small
+        # Within-cluster kth-NN distances are far below the global median.
+        assert mean_knn_heuristic(X, k=5) < median_heuristic(X)
+
+    def test_knn_invalid_k(self, blobs_small):
+        with pytest.raises(ValueError):
+            mean_knn_heuristic(blobs_small[0], k=0)
+
+    def test_knn_single_point(self):
+        assert mean_knn_heuristic(np.ones((1, 3))) == 1.0

@@ -1,0 +1,149 @@
+"""Tests for the other LSH families: signed RP, PCA rotation, p-stable, MinHash."""
+
+import numpy as np
+import pytest
+
+from repro.lsh import (
+    MinHasher,
+    PCARotationHasher,
+    SignedRandomProjectionHasher,
+    StableDistributionHasher,
+)
+
+
+def _angular_pair(angle_rad: float, d: int = 8, seed: int = 0):
+    """Two unit vectors at a given angle, embedded in d dims."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(d)
+    a /= np.linalg.norm(a)
+    b_perp = rng.standard_normal(d)
+    b_perp -= (b_perp @ a) * a
+    b_perp /= np.linalg.norm(b_perp)
+    b = np.cos(angle_rad) * a + np.sin(angle_rad) * b_perp
+    return a, b
+
+
+class TestSignedRandomProjection:
+    def test_shapes_and_determinism(self, blobs_small):
+        X, _ = blobs_small
+        h = SignedRandomProjectionHasher(8, seed=0)
+        s1 = h.fit_hash(X)
+        assert s1.shape == (X.shape[0],)
+        s2 = SignedRandomProjectionHasher(8, seed=0).fit_hash(X)
+        assert np.array_equal(s1, s2)
+
+    def test_collision_rate_follows_angle(self):
+        """Charikar: P(bit agrees) = 1 - theta/pi; closer pairs agree more."""
+        m = 2048
+        a, b = _angular_pair(np.pi / 8)
+        c, d = _angular_pair(3 * np.pi / 4, seed=1)
+        h = SignedRandomProjectionHasher(64, center=False, seed=2)
+        # Estimate over many independent hashers to get tight rates.
+        agree_close = agree_far = 0
+        for seed in range(m // 64):
+            h = SignedRandomProjectionHasher(64, center=False, seed=seed)
+            h.fit(np.vstack([a, b, c, d]))
+            bits = h.hash_bits(np.vstack([a, b, c, d]))
+            agree_close += (bits[0] == bits[1]).sum()
+            agree_far += (bits[2] == bits[3]).sum()
+        p_close = agree_close / m
+        p_far = agree_far / m
+        assert abs(p_close - (1 - (np.pi / 8) / np.pi)) < 0.06
+        assert abs(p_far - (1 - (3 * np.pi / 4) / np.pi)) < 0.06
+
+    def test_centering_avoids_degenerate_signatures(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(5.0, 6.0, (200, 10))  # far from the origin
+        centered = SignedRandomProjectionHasher(8, center=True, seed=0).fit_hash(X)
+        uncentered = SignedRandomProjectionHasher(8, center=False, seed=0).fit_hash(X)
+        assert len(np.unique(centered)) > len(np.unique(uncentered))
+
+    def test_requires_fit(self, blobs_small):
+        X, _ = blobs_small
+        with pytest.raises(RuntimeError):
+            SignedRandomProjectionHasher(4).hash(X)
+
+
+class TestPCARotation:
+    def test_bits_are_balanced(self, blobs_medium):
+        """Median thresholds split every bit 50/50 — the skew remedy."""
+        X, _ = blobs_medium
+        bits = PCARotationHasher(6, seed=0).fit(X).hash_bits(X)
+        means = bits.mean(axis=0)
+        assert np.all(np.abs(means - 0.5) < 0.05)
+
+    def test_buckets_more_balanced_than_axis_on_skewed_data(self):
+        rng = np.random.default_rng(3)
+        # Heavily skewed: exponential blob + tiny far cluster.
+        X = np.vstack([rng.exponential(0.1, (950, 6)), 5.0 + rng.normal(0, 0.01, (50, 6))])
+        pca_sigs = PCARotationHasher(5, seed=0).fit(X).hash(X)
+        _, counts = np.unique(pca_sigs, return_counts=True)
+        assert counts.max() < 0.6 * len(X)  # no bucket hoards the data
+
+    def test_handles_more_bits_than_rank(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((50, 3))
+        sigs = PCARotationHasher(10, seed=0).fit(X).hash(X)
+        assert sigs.shape == (50,)
+
+
+class TestStableDistribution:
+    def test_integer_hashes_shift_with_width(self, uniform_small):
+        X = uniform_small
+        narrow = StableDistributionHasher(4, bucket_width=0.1, seed=0).fit(X)
+        wide = StableDistributionHasher(4, bucket_width=100.0, seed=0).fit(X)
+        assert len(np.unique(narrow.hash_integers(X)[:, 0])) > len(
+            np.unique(wide.hash_integers(X)[:, 0])
+        )
+
+    def test_near_points_collide_more_than_far(self):
+        rng = np.random.default_rng(1)
+        base = rng.uniform(0, 1, (100, 8))
+        near = base + rng.normal(0, 0.01, base.shape)
+        far = rng.uniform(0, 1, (100, 8)) + 10
+        h = StableDistributionHasher(16, bucket_width=1.0, seed=0).fit(base)
+        same_near = (h.hash_integers(base) == h.hash_integers(near)).mean()
+        same_far = (h.hash_integers(base) == h.hash_integers(far)).mean()
+        assert same_near > same_far
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            StableDistributionHasher(4, bucket_width=0.0)
+
+
+class TestMinHash:
+    def test_jaccard_estimate_tracks_truth(self):
+        d = 200
+        rng = np.random.default_rng(0)
+        a = np.zeros(d)
+        b = np.zeros(d)
+        a[:100] = 1.0
+        b[50:150] = 1.0  # |A&B| = 50, |A|B| = 150 -> J = 1/3
+        h = MinHasher(256, seed=0)
+        va = h.hash_values(a.reshape(1, -1))[0]
+        vb = h.hash_values(b.reshape(1, -1))[0]
+        assert abs(MinHasher.jaccard_estimate(va, vb) - 1 / 3) < 0.1
+
+    def test_identical_sets_always_collide(self):
+        x = np.zeros((1, 50))
+        x[0, [3, 7, 12]] = 1.0
+        h = MinHasher(32, seed=1)
+        assert MinHasher.jaccard_estimate(h.hash_values(x)[0], h.hash_values(x.copy())[0]) == 1.0
+
+    def test_disjoint_sets_rarely_collide(self):
+        a = np.zeros((1, 100))
+        b = np.zeros((1, 100))
+        a[0, :50] = 1.0
+        b[0, 50:] = 1.0
+        h = MinHasher(64, seed=2)
+        est = MinHasher.jaccard_estimate(h.hash_values(a)[0], h.hash_values(b)[0])
+        assert est < 0.1
+
+    def test_empty_support_sentinel(self):
+        h = MinHasher(4, seed=0)
+        values = h.hash_values(np.zeros((1, 10)))
+        assert (values[0] == values[0][0]).all()  # all-sentinel row
+
+    def test_mismatched_signatures_raise(self):
+        with pytest.raises(ValueError):
+            MinHasher.jaccard_estimate(np.zeros(4), np.zeros(5))

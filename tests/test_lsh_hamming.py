@@ -1,0 +1,115 @@
+"""Tests for packed signatures and Hamming primitives, incl. the Eq.-6 trick."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsh import (
+    differs_in_at_most_one_bit,
+    hamming_distance,
+    pack_bits,
+    popcount,
+    signature_strings,
+    unpack_bits,
+)
+
+uint64s = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestPackUnpack:
+    def test_known_packing(self):
+        bits = np.array([[1, 0, 1], [0, 1, 1]])
+        sigs = pack_bits(bits)
+        assert sigs.tolist() == [0b101, 0b110]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([[0, 2]]))
+
+    def test_rejects_too_many_bits(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros((1, 65), dtype=int))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([0, 1]))
+
+    @given(st.integers(1, 64), st.integers(0, 20), st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, m, seed, n):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(n, m)).astype(np.uint8)
+        recovered = unpack_bits(pack_bits(bits), m)
+        assert np.array_equal(recovered, bits)
+
+    def test_full_64_bits(self):
+        bits = np.ones((1, 64), dtype=np.uint8)
+        assert pack_bits(bits)[0] == np.uint64(2**64 - 1)
+
+
+class TestPopcount:
+    @given(st.lists(uint64s, min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_python_bit_count(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        expected = [int(v).bit_count() for v in values]
+        assert popcount(arr).tolist() == expected
+
+    def test_extremes(self):
+        assert popcount(np.array([0], dtype=np.uint64))[0] == 0
+        assert popcount(np.array([2**64 - 1], dtype=np.uint64))[0] == 64
+
+
+class TestHamming:
+    @given(uint64s, uint64s)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_xor_popcount(self, a, b):
+        d = hamming_distance(np.uint64(a), np.uint64(b))
+        assert int(d) == (a ^ b).bit_count()
+
+    @given(uint64s, uint64s)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry_and_identity(self, a, b):
+        assert hamming_distance(np.uint64(a), np.uint64(b)) == hamming_distance(
+            np.uint64(b), np.uint64(a)
+        )
+        assert hamming_distance(np.uint64(a), np.uint64(a)) == 0
+
+    def test_broadcasting(self):
+        a = np.uint64(0b1010)
+        b = np.array([0b1010, 0b1011, 0b0101], dtype=np.uint64)
+        assert hamming_distance(a, b).tolist() == [0, 1, 4]
+
+
+class TestEq6Trick:
+    @given(uint64s, uint64s)
+    @settings(max_examples=200, deadline=None)
+    def test_equivalent_to_hamming_le_1(self, a, b):
+        """The paper's (A^B)&(A^B-1)==0 test is exactly hamming(a,b) <= 1."""
+        trick = bool(differs_in_at_most_one_bit(np.uint64(a), np.uint64(b)))
+        assert trick == ((a ^ b).bit_count() <= 1)
+
+    def test_identical_signatures_merge(self):
+        assert differs_in_at_most_one_bit(np.uint64(5), np.uint64(5))
+
+    def test_vectorised(self):
+        a = np.uint64(0)
+        b = np.array([0, 1, 2, 3, 4], dtype=np.uint64)
+        assert differs_in_at_most_one_bit(a, b).tolist() == [True, True, True, False, True]
+
+
+class TestSignatureStrings:
+    def test_bit_order_matches_algorithm1(self):
+        # Bit 0 (the first hash function) is the first character.
+        sigs = pack_bits(np.array([[1, 0, 0, 1]]))
+        assert signature_strings(sigs, 4) == ["1001"]
+
+    @given(st.integers(1, 16), st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_string_roundtrip(self, m, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(5, m)).astype(np.uint8)
+        strings = signature_strings(pack_bits(bits), m)
+        rebuilt = np.array([[int(c) for c in s] for s in strings], dtype=np.uint8)
+        assert np.array_equal(rebuilt, bits)

@@ -1,0 +1,89 @@
+"""Tests for the banded LSH index and its collision model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsh import MinHasher
+from repro.lsh.index import LSHIndex, banding_collision_probability
+
+
+class TestBandingProbability:
+    def test_extremes(self):
+        assert banding_collision_probability(0.0, 8, 4) == 0.0
+        assert banding_collision_probability(1.0, 8, 4) == 1.0
+
+    def test_s_curve_monotone(self):
+        probs = [banding_collision_probability(s, 8, 4) for s in np.linspace(0, 1, 21)]
+        assert all(a <= b for a, b in zip(probs, probs[1:]))
+
+    def test_more_bands_more_collisions(self):
+        assert banding_collision_probability(0.5, 16, 4) > banding_collision_probability(0.5, 4, 4)
+
+    def test_more_rows_fewer_collisions(self):
+        assert banding_collision_probability(0.5, 8, 8) < banding_collision_probability(0.5, 8, 2)
+
+    @given(st.floats(0, 1), st.integers(1, 20), st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_is_probability(self, s, b, r):
+        assert 0.0 <= banding_collision_probability(s, b, r) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            banding_collision_probability(1.5, 4, 4)
+        with pytest.raises(ValueError):
+            banding_collision_probability(0.5, 0, 4)
+
+
+class TestLSHIndex:
+    def test_identical_items_always_candidates(self, rng):
+        H = rng.integers(0, 100, (5, 32))
+        H[3] = H[0]  # duplicate
+        index = LSHIndex(n_bands=8, rows_per_band=4)
+        index.add(H)
+        assert 3 in index.candidates(0)
+        assert (0, 3) in index.candidate_pairs()
+
+    def test_unrelated_items_rarely_candidates(self, rng):
+        H = rng.integers(0, 10**6, (20, 32))
+        index = LSHIndex(n_bands=8, rows_per_band=4)
+        index.add(H)
+        assert len(index.candidate_pairs()) == 0
+
+    def test_minhash_near_duplicates_found(self):
+        """End to end with MinHash: overlapping sets become candidates."""
+        d = 300
+        base = np.zeros((1, d))
+        base[0, :80] = 1.0
+        near = base.copy()
+        near[0, 75:85] = 1.0  # Jaccard ~ 0.88
+        far = np.zeros((1, d))
+        far[0, 200:280] = 1.0
+        X = np.vstack([base, near, far])
+        hasher = MinHasher(32, seed=0)
+        index = LSHIndex(n_bands=8, rows_per_band=4)
+        index.add(hasher.hash_values(X))
+        pairs = index.candidate_pairs()
+        assert (0, 1) in pairs
+        assert (0, 2) not in pairs
+
+    def test_incremental_add(self, rng):
+        index = LSHIndex(n_bands=4, rows_per_band=2)
+        index.add(rng.integers(0, 5, (3, 8)))
+        index.add(rng.integers(0, 5, (2, 8)))
+        assert len(index) == 5
+
+    def test_candidates_out_of_range(self):
+        index = LSHIndex(2, 2)
+        with pytest.raises(IndexError):
+            index.candidates(0)
+
+    def test_wrong_width_rejected(self, rng):
+        index = LSHIndex(n_bands=4, rows_per_band=4)
+        with pytest.raises(ValueError):
+            index.add(rng.integers(0, 5, (3, 8)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LSHIndex(0, 4)

@@ -1,0 +1,77 @@
+"""Tests for the k-d tree substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsh import KDTree
+
+
+def brute_nearest(X, q):
+    d = np.linalg.norm(X - q, axis=1)
+    i = int(np.argmin(d))
+    return i, float(d[i])
+
+
+class TestKDTree:
+    def test_len(self, uniform_small):
+        assert len(KDTree(uniform_small)) == uniform_small.shape[0]
+
+    def test_depth_is_logarithmic(self, uniform_small):
+        tree = KDTree(uniform_small)
+        n = len(tree)
+        assert tree.depth() <= 2 * int(np.ceil(np.log2(n))) + 1
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_nearest_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0, 1, (64, 4))
+        tree = KDTree(X)
+        q = rng.uniform(-0.2, 1.2, 4)
+        idx, dist = tree.nearest(q)
+        bidx, bdist = brute_nearest(X, q)
+        assert dist == pytest.approx(bdist)
+        # Ties allowed: distance must match even if the index differs.
+        assert np.linalg.norm(X[idx] - q) == pytest.approx(bdist)
+
+    def test_nearest_on_member_point(self, uniform_small):
+        tree = KDTree(uniform_small)
+        idx, dist = tree.nearest(uniform_small[17])
+        assert dist == pytest.approx(0.0)
+        assert np.allclose(uniform_small[idx], uniform_small[17])
+
+    def test_nearest_dimension_mismatch(self, uniform_small):
+        with pytest.raises(ValueError):
+            KDTree(uniform_small).nearest(np.zeros(uniform_small.shape[1] + 1))
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_range_query_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0, 1, (80, 3))
+        tree = KDTree(X)
+        lo = rng.uniform(0, 0.5, 3)
+        hi = lo + rng.uniform(0.1, 0.5, 3)
+        got = tree.range_query(lo, hi)
+        expected = sorted(
+            i for i in range(80) if np.all(X[i] >= lo) and np.all(X[i] <= hi)
+        )
+        assert got == expected
+
+    def test_range_query_bad_bounds(self, uniform_small):
+        tree = KDTree(uniform_small)
+        with pytest.raises(ValueError):
+            tree.range_query([0.0], [1.0, 1.0])
+
+    def test_single_point_tree(self):
+        tree = KDTree(np.array([[1.0, 2.0]]))
+        idx, dist = tree.nearest([1.0, 2.0])
+        assert idx == 0 and dist == 0.0
+        assert tree.depth() == 0
+
+    def test_duplicate_points(self):
+        X = np.ones((10, 2))
+        tree = KDTree(X)
+        assert tree.range_query([0.5, 0.5], [1.5, 1.5]) == list(range(10))

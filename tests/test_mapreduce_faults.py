@@ -1,0 +1,105 @@
+"""Tests for fault injection and task re-execution in the MapReduce engine."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import JobSpec, MapReduceEngine, SimulatedCluster
+from repro.mapreduce.faults import FaultPolicy, FaultyEngine, TaskFailedError
+
+
+def wc_mapper(key, value, ctx):
+    for word in value.split():
+        yield (word, 1)
+
+
+def wc_reducer(key, values, ctx):
+    yield (key, sum(values))
+
+
+def wc_job():
+    return JobSpec(name="wc", mapper=wc_mapper, reducer=wc_reducer)
+
+
+SPLITS = [[(0, "a b a c")], [(1, "b b a")], [(2, "c a")]]
+
+
+class TestFaultPolicy:
+    def test_zero_rate_never_fails(self):
+        oracle = FaultPolicy(failure_rate=0.0).make_oracle()
+        assert not any(oracle() for _ in range(100))
+
+    def test_rate_approximately_respected(self):
+        oracle = FaultPolicy(failure_rate=0.3, seed=1).make_oracle()
+        rate = sum(oracle() for _ in range(5000)) / 5000
+        assert abs(rate - 0.3) < 0.03
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(failure_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultPolicy(max_attempts=0)
+
+
+class TestFaultyEngine:
+    def test_output_identical_to_plain_engine(self):
+        """Re-execution of deterministic tasks must not change results."""
+        plain = MapReduceEngine().run(wc_job(), SPLITS)
+        faulty = FaultyEngine(policy=FaultPolicy(failure_rate=0.4, max_attempts=12, seed=7)).run(
+            wc_job(), SPLITS
+        )
+        assert dict(plain.output) == dict(faulty.output)
+
+    def test_retries_counted(self):
+        faulty = FaultyEngine(policy=FaultPolicy(failure_rate=0.5, max_attempts=12, seed=3)).run(
+            wc_job(), SPLITS
+        )
+        total_failures = faulty.counters.value("faults", "map_failures") + faulty.counters.value(
+            "faults", "reduce_failures"
+        )
+        assert total_failures > 0  # at 50% rate over 6 tasks, overwhelmingly likely
+
+    def test_wasted_work_charged_to_clock(self):
+        job = JobSpec(name="wc", mapper=wc_mapper, reducer=wc_reducer,
+                      map_cost=lambda k, v: 10.0)
+        plain = MapReduceEngine(SimulatedCluster(1)).run(job, SPLITS)
+        faulty = FaultyEngine(
+            SimulatedCluster(1), policy=FaultPolicy(failure_rate=0.5, max_attempts=12, seed=3)
+        ).run(job, SPLITS)
+        assert faulty.map_stats.total_cost >= plain.map_stats.total_cost
+        if faulty.counters.value("faults", "map_failures") > 0:
+            assert faulty.map_stats.total_cost > plain.map_stats.total_cost
+
+    def test_exhausted_attempts_raise(self):
+        # With failure_rate just below 1 and 1 attempt, failure is certain
+        # at some task among many.
+        policy = FaultPolicy(failure_rate=0.99, max_attempts=1, seed=0)
+        with pytest.raises(TaskFailedError):
+            FaultyEngine(policy=policy).run(wc_job(), SPLITS * 20)
+
+    def test_zero_rate_behaves_exactly_like_plain(self):
+        plain = MapReduceEngine().run(wc_job(), SPLITS)
+        faulty = FaultyEngine(policy=FaultPolicy(failure_rate=0.0)).run(wc_job(), SPLITS)
+        assert dict(plain.output) == dict(faulty.output)
+        assert faulty.counters.value("faults", "map_failures") == 0
+
+    def test_dasc_pipeline_survives_faults(self, blobs_small):
+        """End to end: distributed DASC is correct under 30% task failures."""
+        from repro.core import DASCConfig
+        from repro.dasc_mr import DistributedDASC
+        from repro.mapreduce.emr import ElasticMapReduce
+        from repro.metrics import clustering_accuracy
+
+        X, y = blobs_small
+
+        class FaultyEMR(ElasticMapReduce):
+            def create_job_flow(self, n_nodes, *, split_size=1024):
+                flow_id, flow = super().create_job_flow(n_nodes, split_size=split_size)
+                flow.engine = FaultyEngine(
+                    flow.engine.cluster, policy=FaultPolicy(failure_rate=0.3, max_attempts=12, seed=5)
+                )
+                return flow_id, flow
+
+        result = DistributedDASC(
+            4, n_nodes=4, config=DASCConfig(seed=0), emr=FaultyEMR()
+        ).run(X)
+        assert clustering_accuracy(y, result.labels) > 0.9

@@ -1,0 +1,165 @@
+"""Tests for the evaluation metrics (accuracy, DBI, ASE, Fnorm, NMI)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    average_squared_error,
+    clustering_accuracy,
+    contingency_matrix,
+    davies_bouldin_index,
+    fnorm_ratio,
+    frobenius_norm,
+    hungarian_match,
+    normalized_mutual_info,
+)
+
+label_lists = st.lists(st.integers(0, 4), min_size=2, max_size=60)
+
+
+class TestAccuracy:
+    def test_perfect_relabelling_is_one(self):
+        y = np.array([0, 0, 1, 1, 2, 2])
+        pred = np.array([2, 2, 0, 0, 1, 1])  # a permutation of the labels
+        assert clustering_accuracy(y, pred) == 1.0
+
+    def test_known_partial(self):
+        y = np.array([0, 0, 0, 1, 1, 1])
+        pred = np.array([0, 0, 1, 1, 1, 1])
+        assert clustering_accuracy(y, pred) == pytest.approx(5 / 6)
+
+    def test_extra_clusters_lose_mass(self):
+        y = np.zeros(4, dtype=int)
+        pred = np.array([0, 1, 2, 3])
+        assert clustering_accuracy(y, pred) == pytest.approx(0.25)
+
+    @given(label_lists, st.permutations(list(range(5))))
+    @settings(max_examples=50, deadline=None)
+    def test_invariant_under_relabelling(self, labels, perm):
+        labels = np.array(labels)
+        pred = np.array([perm[l] for l in labels])
+        assert clustering_accuracy(labels, pred) == 1.0
+
+    @given(label_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_and_symmetric_under_swap(self, labels):
+        rng = np.random.default_rng(0)
+        pred = rng.integers(0, 3, len(labels))
+        acc = clustering_accuracy(labels, pred)
+        assert 0.0 <= acc <= 1.0
+        assert acc == pytest.approx(clustering_accuracy(pred, labels))
+
+    def test_contingency_matrix_counts(self):
+        table = contingency_matrix([0, 0, 1], [1, 1, 0])
+        assert table.tolist() == [[0, 2], [1, 0]]
+
+    def test_hungarian_match_rectangular(self):
+        rows, cols = hungarian_match([0, 0, 1, 1], [0, 1, 2, 3])
+        assert len(rows) == 2  # min(2 classes, 4 clusters)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            clustering_accuracy([0, 1], [0, 1, 2])
+
+
+class TestDBI:
+    def test_tight_separated_clusters_have_low_dbi(self, blobs_small):
+        X, y = blobs_small
+        good = davies_bouldin_index(X, y)
+        rng = np.random.default_rng(0)
+        bad = davies_bouldin_index(X, rng.permutation(y))
+        assert good < 0.5 < bad
+
+    def test_eq20_two_cluster_hand_computation(self):
+        X = np.array([[0.0], [2.0], [10.0], [12.0]])
+        labels = np.array([0, 0, 1, 1])
+        # centroids 1 and 11, scatters 1 and 1, separation 10 -> DBI = 0.2.
+        assert davies_bouldin_index(X, labels) == pytest.approx(0.2)
+
+    def test_single_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            davies_bouldin_index(np.ones((4, 2)), np.zeros(4, dtype=int))
+
+    def test_coincident_centroids_give_inf(self):
+        X = np.array([[0.0], [1.0], [0.0], [1.0]])
+        labels = np.array([0, 0, 1, 1])  # identical centroids at 0.5
+        assert davies_bouldin_index(X, labels) == np.inf
+
+
+class TestASE:
+    def test_eq21_hand_computation(self):
+        X = np.array([[0.0], [2.0], [5.0]])
+        labels = np.array([0, 0, 1])
+        # cluster 0: centroid 1, squared dists 1+1=2; cluster 1: 0. ASE = 2/3.
+        assert average_squared_error(X, labels) == pytest.approx(2 / 3)
+
+    def test_zero_for_pure_singletons(self):
+        X = np.arange(6, dtype=float).reshape(3, 2)
+        assert average_squared_error(X, np.arange(3)) == 0.0
+
+    def test_finer_clustering_never_increases_ase(self, blobs_small):
+        X, y = blobs_small
+        coarse = average_squared_error(X, np.zeros(len(X), dtype=int))
+        fine = average_squared_error(X, y)
+        assert fine <= coarse
+
+
+class TestFnorm:
+    def test_eq22_hand_value(self):
+        A = np.array([[3.0, 0.0], [0.0, 4.0]])
+        assert frobenius_norm(A) == pytest.approx(5.0)
+
+    def test_matches_singular_values(self, rng):
+        """Eq. 24: Fnorm equals sqrt(sum of squared singular values)."""
+        A = rng.standard_normal((6, 4))
+        sv = np.linalg.svd(A, compute_uv=False)
+        assert frobenius_norm(A) == pytest.approx(np.sqrt((sv**2).sum()))
+
+    def test_sparse_input(self, rng):
+        import scipy.sparse as sp
+
+        A = rng.standard_normal((5, 5))
+        assert frobenius_norm(sp.csr_matrix(A)) == pytest.approx(frobenius_norm(A))
+
+    def test_ratio_zero_denominator(self):
+        with pytest.raises(ValueError):
+            fnorm_ratio(np.ones((2, 2)), np.zeros((2, 2)))
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_masking_entries_only_reduces_norm(self, seed):
+        rng = np.random.default_rng(seed)
+        A = rng.standard_normal((8, 8))
+        mask = rng.integers(0, 2, (8, 8)).astype(bool)
+        assert fnorm_ratio(A * mask, A) <= 1.0 + 1e-12
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        assert normalized_mutual_info([0, 1, 0, 1], [1, 0, 1, 0]) == pytest.approx(1.0)
+
+    def test_independent_partitions_low(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, 2000)
+        b = rng.integers(0, 4, 2000)
+        assert normalized_mutual_info(a, b) < 0.05
+
+    def test_refinement_scores_high(self):
+        y = np.repeat([0, 1], 50)
+        refined = np.concatenate([np.repeat([0, 1], 25), np.repeat([2, 3], 25)])
+        assert normalized_mutual_info(y, refined) > 0.6
+
+    def test_both_degenerate(self):
+        assert normalized_mutual_info([0, 0], [1, 1]) == 1.0
+
+    def test_one_degenerate(self):
+        assert normalized_mutual_info([0, 0, 0], [0, 1, 2]) == 0.0
+
+    @given(label_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, labels):
+        rng = np.random.default_rng(1)
+        pred = rng.integers(0, 3, len(labels))
+        assert 0.0 <= normalized_mutual_info(labels, pred) <= 1.0

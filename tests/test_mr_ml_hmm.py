@@ -1,0 +1,163 @@
+"""Tests for the discrete HMM (forward/backward, Viterbi, Baum-Welch)."""
+
+import numpy as np
+import pytest
+
+from repro.mr_ml.hmm import HiddenMarkovModel
+
+
+def two_state_model():
+    """A crisp 2-state, 2-symbol model: state i emits symbol i w.p. 0.9."""
+    hmm = HiddenMarkovModel(2, 2, seed=0)
+    hmm.set_parameters(
+        start=[0.5, 0.5],
+        transition=[[0.9, 0.1], [0.1, 0.9]],
+        emission=[[0.9, 0.1], [0.1, 0.9]],
+    )
+    return hmm
+
+
+class TestConstruction:
+    def test_random_tables_are_stochastic(self):
+        hmm = HiddenMarkovModel(3, 5, seed=1)
+        assert np.allclose(hmm.start_.sum(), 1.0)
+        assert np.allclose(hmm.transition_.sum(axis=1), 1.0)
+        assert np.allclose(hmm.emission_.sum(axis=1), 1.0)
+
+    def test_set_parameters_validation(self):
+        hmm = HiddenMarkovModel(2, 2)
+        with pytest.raises(ValueError):
+            hmm.set_parameters([0.5, 0.6], np.eye(2), np.eye(2))  # not a distribution
+        with pytest.raises(ValueError):
+            hmm.set_parameters([0.5, 0.5], np.eye(3), np.eye(2))  # wrong shape
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            HiddenMarkovModel(0, 2)
+
+
+class TestLikelihood:
+    def test_matches_brute_force_enumeration(self):
+        """Forward log-likelihood equals the exact sum over all state paths."""
+        hmm = two_state_model()
+        obs = np.array([0, 1, 0])
+        total = 0.0
+        for s0 in range(2):
+            for s1 in range(2):
+                for s2 in range(2):
+                    p = hmm.start_[s0] * hmm.emission_[s0, obs[0]]
+                    p *= hmm.transition_[s0, s1] * hmm.emission_[s1, obs[1]]
+                    p *= hmm.transition_[s1, s2] * hmm.emission_[s2, obs[2]]
+                    total += p
+        assert hmm.log_likelihood(obs) == pytest.approx(np.log(total))
+
+    def test_likely_sequences_score_higher(self):
+        hmm = two_state_model()
+        sticky = hmm.log_likelihood([0, 0, 0, 0, 1, 1, 1, 1])
+        jumpy = hmm.log_likelihood([0, 1, 0, 1, 0, 1, 0, 1])
+        assert sticky > jumpy
+
+    def test_long_sequences_do_not_underflow(self):
+        hmm = two_state_model()
+        _, obs = hmm.sample(5000, seed=0)
+        ll = hmm.log_likelihood(obs)
+        assert np.isfinite(ll)
+
+    def test_invalid_observations(self):
+        hmm = two_state_model()
+        with pytest.raises(ValueError):
+            hmm.log_likelihood([])
+        with pytest.raises(ValueError):
+            hmm.log_likelihood([0, 5])
+
+
+class TestViterbi:
+    def test_recovers_generating_states_on_crisp_model(self):
+        hmm = two_state_model()
+        states, obs = hmm.sample(200, seed=3)
+        decoded = hmm.viterbi(obs)
+        assert np.mean(decoded == states) > 0.85
+
+    def test_deterministic_model_exact(self):
+        hmm = HiddenMarkovModel(2, 2)
+        hmm.set_parameters(
+            start=[1.0, 0.0],
+            transition=[[0.0, 1.0], [1.0, 0.0]],  # strict alternation
+            emission=[[1.0, 0.0], [0.0, 1.0]],
+        )
+        path = hmm.viterbi([0, 1, 0, 1])
+        assert path.tolist() == [0, 1, 0, 1]
+
+
+class TestBaumWelch:
+    def test_likelihood_monotone_under_training(self):
+        rng = np.random.default_rng(0)
+        true = two_state_model()
+        sequences = [true.sample(100, seed=i)[1] for i in range(5)]
+        model = HiddenMarkovModel(2, 2, seed=7)
+        before = sum(model.log_likelihood(s) for s in sequences)
+        model.fit(sequences, max_iter=20)
+        after = sum(model.log_likelihood(s) for s in sequences)
+        assert after > before
+
+    def test_learns_emission_structure(self):
+        true = two_state_model()
+        sequences = [true.sample(300, seed=i)[1] for i in range(8)]
+        model = HiddenMarkovModel(2, 2, seed=5).fit(sequences, max_iter=50)
+        # Each learned state should specialise in one symbol (up to state
+        # permutation): the max emission probability per row is large.
+        assert model.emission_.max(axis=1).min() > 0.7
+
+    def test_estep_mstep_roundtrip_is_fit_iteration(self):
+        """One manual E+M step equals one internal fit iteration (the
+        MapReduce decomposition is faithful)."""
+        true = two_state_model()
+        sequences = [true.sample(50, seed=i)[1] for i in range(3)]
+        a = HiddenMarkovModel(2, 2, seed=9)
+        b = HiddenMarkovModel(2, 2, seed=9)
+        # Manual: map-side estep per sequence, reduce-side pooled mstep.
+        stats = [a.estep(s) for s in sequences]
+        a.mstep(a._pool(stats))
+        b.fit(sequences, max_iter=1, tol=-np.inf)
+        assert np.allclose(a.transition_, b.transition_)
+        assert np.allclose(a.emission_, b.emission_)
+
+    def test_fit_requires_sequences(self):
+        with pytest.raises(ValueError):
+            HiddenMarkovModel(2, 2).fit([])
+
+
+class TestSample:
+    def test_shapes_and_alphabet(self):
+        hmm = HiddenMarkovModel(3, 4, seed=0)
+        states, obs = hmm.sample(64, seed=1)
+        assert states.shape == obs.shape == (64,)
+        assert states.max() < 3 and obs.max() < 4
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            HiddenMarkovModel(2, 2).sample(0)
+
+
+class TestMapReduceTraining:
+    def test_matches_local_baum_welch(self):
+        from repro.mapreduce import MapReduceEngine
+        from repro.mr_ml.hmm import fit_hmm_mapreduce
+
+        true = two_state_model()
+        sequences = [true.sample(80, seed=i)[1] for i in range(4)]
+        local = HiddenMarkovModel(2, 2, seed=11).fit(sequences, max_iter=5, tol=-np.inf)
+        distributed = fit_hmm_mapreduce(
+            HiddenMarkovModel(2, 2, seed=11), sequences, MapReduceEngine(),
+            max_iter=5, tol=-np.inf,
+        )
+        assert np.allclose(local.transition_, distributed.transition_)
+        assert np.allclose(local.emission_, distributed.emission_)
+        assert np.allclose(local.start_, distributed.start_)
+
+    def test_requires_sequences(self):
+        from repro.mapreduce import MapReduceEngine
+        from repro.mr_ml.hmm import fit_hmm_mapreduce
+
+        with pytest.raises(ValueError):
+            fit_hmm_mapreduce(HiddenMarkovModel(2, 2), [], MapReduceEngine())

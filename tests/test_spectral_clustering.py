@@ -1,0 +1,162 @@
+"""Tests for embedding, K-means, and the exact SpectralClustering estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spectral import KMeans, SpectralClustering, kmeans_plus_plus_init, row_normalize, spectral_embedding
+from repro.kernels import GaussianKernel
+from repro.metrics import clustering_accuracy
+
+
+class TestRowNormalize:
+    def test_unit_rows(self, rng):
+        Y = row_normalize(rng.standard_normal((20, 4)))
+        assert np.allclose(np.linalg.norm(Y, axis=1), 1.0)
+
+    def test_zero_rows_stay_zero(self):
+        Y = row_normalize(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert np.allclose(Y[0], 0.0)
+        assert np.allclose(Y[1], [0.6, 0.8])
+
+
+class TestSpectralEmbedding:
+    def test_block_diagonal_affinity_separates(self):
+        # Two disconnected cliques: embedding rows within a clique coincide.
+        S = np.zeros((6, 6))
+        S[:3, :3] = 1.0
+        S[3:, 3:] = 1.0
+        np.fill_diagonal(S, 0.0)
+        Y = spectral_embedding(S, 2)
+        within_a = np.linalg.norm(Y[0] - Y[1])
+        across = np.linalg.norm(Y[0] - Y[4])
+        assert within_a < 1e-8
+        assert across > 0.5
+
+    def test_shape(self, rng):
+        S = rng.uniform(0, 1, (10, 10))
+        S = (S + S.T) / 2
+        assert spectral_embedding(S, 3).shape == (10, 3)
+
+
+class TestKMeansPlusPlus:
+    def test_centers_are_data_points(self, rng):
+        X = rng.uniform(0, 1, (30, 3))
+        centers = kmeans_plus_plus_init(X, 5, rng)
+        for c in centers:
+            assert any(np.allclose(c, x) for x in X)
+
+    def test_spreads_over_separated_clusters(self, blobs_small, rng):
+        X, y = blobs_small
+        centers = kmeans_plus_plus_init(X, 4, rng)
+        # Each chosen center should be near a distinct true cluster.
+        from repro.kernels.matrix import pairwise_sq_distances
+        d2 = pairwise_sq_distances(centers, centers)
+        np.fill_diagonal(d2, np.inf)
+        assert d2.min() > 0.01  # no two centers from the same tight blob
+
+    def test_duplicate_points_handled(self):
+        X = np.ones((10, 2))
+        centers = kmeans_plus_plus_init(X, 3, np.random.default_rng(0))
+        assert centers.shape == (3, 2)
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_init(np.ones((3, 2)), 4, rng)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, blobs_small):
+        X, y = blobs_small
+        labels = KMeans(4, seed=0).fit_predict(X)
+        assert clustering_accuracy(y, labels) > 0.99
+
+    def test_exact_cluster_count(self, blobs_small):
+        X, _ = blobs_small
+        labels = KMeans(4, seed=1).fit_predict(X)
+        assert len(np.unique(labels)) == 4
+
+    def test_inertia_consistent_with_labels(self, blobs_small):
+        X, _ = blobs_small
+        km = KMeans(4, seed=2).fit(X)
+        manual = sum(
+            ((X[km.labels_ == c] - km.cluster_centers_[c]) ** 2).sum() for c in range(4)
+        )
+        assert km.inertia_ == pytest.approx(manual)
+
+    def test_more_restarts_never_worse(self, rng):
+        X = rng.uniform(0, 1, (120, 6))
+        one = KMeans(6, n_init=1, seed=5).fit(X).inertia_
+        many = KMeans(6, n_init=8, seed=5).fit(X).inertia_
+        assert many <= one + 1e-9
+
+    def test_predict_matches_fit_labels(self, blobs_small):
+        X, _ = blobs_small
+        km = KMeans(4, seed=3).fit(X)
+        assert np.array_equal(km.predict(X), km.labels_)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.ones((3, 2)))
+
+    def test_k_equals_n(self):
+        X = np.arange(8, dtype=float).reshape(4, 2)
+        labels = KMeans(4, seed=0).fit_predict(X)
+        assert sorted(labels.tolist()) == [0, 1, 2, 3]
+
+    def test_n_too_small(self):
+        with pytest.raises(ValueError):
+            KMeans(5).fit(np.ones((3, 2)))
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=15, deadline=None)
+    def test_labels_always_in_range(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0, 1, (40, 3))
+        k = int(rng.integers(1, 6))
+        labels = KMeans(k, seed=seed, n_init=1, max_iter=20).fit_predict(X)
+        assert labels.min() >= 0 and labels.max() < k
+        assert labels.shape == (40,)
+
+    def test_seed_reproducibility(self, blobs_small):
+        X, _ = blobs_small
+        a = KMeans(4, seed=9).fit_predict(X)
+        b = KMeans(4, seed=9).fit_predict(X)
+        assert np.array_equal(a, b)
+
+
+class TestSpectralClustering:
+    def test_recovers_blobs(self, blobs_small):
+        X, y = blobs_small
+        labels = SpectralClustering(4, sigma=0.3, seed=0).fit_predict(X)
+        assert clustering_accuracy(y, labels) > 0.99
+
+    def test_memory_accounting_is_full_matrix(self, blobs_small):
+        X, _ = blobs_small
+        sc = SpectralClustering(4, sigma=0.3, seed=0).fit(X)
+        assert sc.memory_.total == 4 * X.shape[0] ** 2
+
+    def test_stage_times_recorded(self, blobs_small):
+        X, _ = blobs_small
+        sc = SpectralClustering(4, sigma=0.3, seed=0).fit(X)
+        assert {"gram", "eigen", "kmeans"} <= set(sc.stopwatch_.laps)
+
+    def test_custom_kernel(self, blobs_small):
+        X, y = blobs_small
+        labels = SpectralClustering(4, kernel=GaussianKernel(0.3), seed=0).fit_predict(X)
+        assert clustering_accuracy(y, labels) > 0.99
+
+    @pytest.mark.parametrize("backend", ["dense", "lanczos", "arpack"])
+    def test_eig_backends_all_work(self, blobs_small, backend):
+        X, y = blobs_small
+        labels = SpectralClustering(4, sigma=0.3, eig_backend=backend, seed=0).fit_predict(X)
+        assert clustering_accuracy(y, labels) > 0.95
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            SpectralClustering(5).fit(np.ones((3, 2)))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SpectralClustering(0)

@@ -1,0 +1,226 @@
+"""Tests for the spectral numerics: Laplacians, Lanczos, tridiagonal QL, eigen front-end."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spectral import (
+    degree_vector,
+    lanczos_tridiagonalize,
+    normalized_laplacian,
+    random_walk_laplacian,
+    top_eigenvectors,
+    tridiagonal_eigh,
+    unnormalized_laplacian,
+)
+
+
+def random_affinity(seed, n=12):
+    rng = np.random.default_rng(seed)
+    A = rng.uniform(0, 1, (n, n))
+    S = (A + A.T) / 2
+    np.fill_diagonal(S, 0.0)
+    return S
+
+
+class TestLaplacians:
+    def test_degree_vector(self):
+        S = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert degree_vector(S).tolist() == [1.0, 1.0]
+
+    def test_normalized_matches_formula(self):
+        S = random_affinity(0)
+        d = S.sum(axis=1)
+        expected = S / np.sqrt(np.outer(d, d))
+        assert np.allclose(normalized_laplacian(S), expected)
+
+    def test_normalized_eigenvalues_in_unit_interval(self):
+        L = normalized_laplacian(random_affinity(1))
+        eigs = np.linalg.eigvalsh(L)
+        assert eigs.max() <= 1.0 + 1e-10 and eigs.min() >= -1.0 - 1e-10
+
+    def test_normalized_top_eigenvalue_is_one_for_connected(self):
+        L = normalized_laplacian(random_affinity(2))
+        assert np.linalg.eigvalsh(L).max() == pytest.approx(1.0)
+
+    def test_isolated_vertex_zero_row(self):
+        S = np.zeros((3, 3))
+        S[0, 1] = S[1, 0] = 1.0  # vertex 2 isolated
+        L = normalized_laplacian(S)
+        assert np.allclose(L[2], 0.0) and np.isfinite(L).all()
+
+    def test_sparse_dense_agree(self):
+        S = random_affinity(3)
+        dense = normalized_laplacian(S)
+        sparse = normalized_laplacian(sp.csr_matrix(S))
+        assert np.allclose(dense, sparse.toarray())
+
+    def test_unnormalized_psd_and_row_sums(self):
+        S = random_affinity(4)
+        L = unnormalized_laplacian(S)
+        assert np.allclose(L.sum(axis=1), 0.0)
+        assert np.linalg.eigvalsh(L).min() > -1e-10
+
+    def test_random_walk_rows_sum_to_one(self):
+        P = random_walk_laplacian(random_affinity(5))
+        assert np.allclose(P.sum(axis=1), 1.0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_laplacian(np.zeros((2, 3)))
+
+
+class TestLanczos:
+    def test_basis_orthonormal_and_tridiagonalizes(self):
+        A = random_affinity(0, n=20)
+        alpha, beta, Q = lanczos_tridiagonalize(A, n_steps=12, seed=0)
+        assert np.allclose(Q.T @ Q, np.eye(Q.shape[1]), atol=1e-8)
+        T = Q.T @ A @ Q
+        expected = np.diag(alpha) + np.diag(beta, 1) + np.diag(beta, -1)
+        assert np.allclose(T, expected, atol=1e-7)
+
+    def test_full_run_recovers_spectrum(self):
+        A = random_affinity(1, n=10)
+        alpha, beta, Q = lanczos_tridiagonalize(A, seed=1)
+        T = np.diag(alpha) + np.diag(beta, 1) + np.diag(beta, -1)
+        assert np.allclose(np.sort(np.linalg.eigvalsh(T)), np.sort(np.linalg.eigvalsh(A)), atol=1e-8)
+
+    def test_breakdown_on_low_rank(self):
+        # Rank-2 matrix: Lanczos finds the invariant subspace early.
+        rng = np.random.default_rng(2)
+        u = rng.standard_normal((10, 2))
+        A = u @ u.T
+        alpha, beta, Q = lanczos_tridiagonalize(A, seed=0)
+        assert Q.shape[1] <= 4  # 2 nonzero + at most a couple of null directions
+
+    def test_invalid_steps(self):
+        A = np.eye(4)
+        with pytest.raises(ValueError):
+            lanczos_tridiagonalize(A, n_steps=0)
+        with pytest.raises(ValueError):
+            lanczos_tridiagonalize(A, n_steps=5)
+
+
+class TestTridiagonalQL:
+    @given(st.integers(0, 40), st.integers(1, 14))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_numpy(self, seed, n):
+        rng = np.random.default_rng(seed)
+        alpha = rng.standard_normal(n)
+        beta = rng.standard_normal(max(n - 1, 0))
+        vals, vecs = tridiagonal_eigh(alpha, beta)
+        T = np.diag(alpha)
+        if n > 1:
+            T += np.diag(beta, 1) + np.diag(beta, -1)
+        expected = np.linalg.eigvalsh(T)
+        assert np.allclose(vals, expected, atol=1e-8)
+        # Eigenvector residuals: T v = lambda v.
+        assert np.allclose(T @ vecs, vecs * vals, atol=1e-8)
+        # Orthonormality.
+        assert np.allclose(vecs.T @ vecs, np.eye(n), atol=1e-8)
+
+    def test_ascending_order(self):
+        vals, _ = tridiagonal_eigh([3.0, 1.0, 2.0], [0.0, 0.0])
+        assert vals.tolist() == [1.0, 2.0, 3.0]
+
+    def test_1x1(self):
+        vals, vecs = tridiagonal_eigh([5.0], [])
+        assert vals[0] == 5.0 and vecs[0, 0] == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            tridiagonal_eigh([1.0, 2.0], [0.5, 0.5])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            tridiagonal_eigh([], [])
+
+
+class TestTopEigenvectors:
+    @pytest.mark.parametrize("backend", ["dense", "lanczos", "arpack"])
+    def test_backends_agree_on_eigenvalues(self, backend):
+        L = normalized_laplacian(random_affinity(7, n=30))
+        vals, vecs = top_eigenvectors(L, 4, backend=backend, seed=0)
+        ref, _ = top_eigenvectors(L, 4, backend="dense")
+        assert np.allclose(vals, ref, atol=1e-5)
+        # Residual check: L v ~= lambda v for every returned pair.
+        for j in range(4):
+            assert np.linalg.norm(L @ vecs[:, j] - vals[j] * vecs[:, j]) < 1e-5
+
+    def test_descending_order(self):
+        L = np.diag([1.0, 3.0, 2.0])
+        vals, _ = top_eigenvectors(L, 3)
+        assert vals.tolist() == [3.0, 2.0, 1.0]
+
+    def test_k_clipped_to_n(self):
+        vals, vecs = top_eigenvectors(np.eye(3), 10)
+        assert vals.shape == (3,) and vecs.shape == (3, 3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            top_eigenvectors(np.eye(3), 0)
+        with pytest.raises(ValueError):
+            top_eigenvectors(np.zeros((2, 3)), 1)
+        with pytest.raises(ValueError):
+            top_eigenvectors(np.eye(3), 1, backend="magic")
+
+    def test_sparse_input(self):
+        L = sp.csr_matrix(normalized_laplacian(random_affinity(8, n=25)))
+        vals, _ = top_eigenvectors(L, 3, backend="arpack", seed=1)
+        ref, _ = top_eigenvectors(L.toarray(), 3, backend="dense")
+        assert np.allclose(vals, ref, atol=1e-6)
+
+
+class TestRestartedLanczos:
+    def test_degenerate_spectrum_resolved(self):
+        """Eigenvalue of multiplicity 2 (two disconnected cliques) needs a
+        deflated restart; the returned pair must span the full eigenspace."""
+        from repro.spectral.lanczos import lanczos_top_eigenpairs
+
+        S = np.zeros((8, 8))
+        S[:4, :4] = 1.0
+        S[4:, 4:] = 1.0
+        np.fill_diagonal(S, 0.0)
+        L = normalized_laplacian(S)
+        vals, vecs = lanczos_top_eigenpairs(lambda v: L @ v, 8, 2, seed=0)
+        assert np.allclose(vals, [1.0, 1.0], atol=1e-8)
+        # The two component indicators must lie in the returned span.
+        for indicator in (np.r_[np.ones(4), np.zeros(4)], np.r_[np.zeros(4), np.ones(4)]):
+            indicator = indicator / np.linalg.norm(indicator)
+            proj = vecs @ (vecs.T @ indicator)
+            assert np.linalg.norm(proj - indicator) < 1e-6
+
+    def test_matches_dense_on_generic_matrix(self):
+        from repro.spectral.lanczos import lanczos_top_eigenpairs
+
+        A = random_affinity(11, n=25)
+        vals, vecs = lanczos_top_eigenpairs(lambda v: A @ v, 25, 5, seed=1)
+        expected = np.sort(np.linalg.eigvalsh(A))[::-1][:5]
+        assert np.allclose(vals, expected, atol=1e-6)
+        for j in range(5):
+            assert np.linalg.norm(A @ vecs[:, j] - vals[j] * vecs[:, j]) < 1e-5
+
+    def test_k_capped_at_n(self):
+        from repro.spectral.lanczos import lanczos_top_eigenpairs
+
+        A = np.diag([3.0, 2.0, 1.0])
+        vals, vecs = lanczos_top_eigenpairs(lambda v: A @ v, 3, 10, seed=0)
+        assert vals.shape[0] == 3
+        assert np.allclose(np.sort(vals)[::-1], [3.0, 2.0, 1.0], atol=1e-9)
+
+    def test_invalid_k(self):
+        from repro.spectral.lanczos import lanczos_top_eigenpairs
+
+        with pytest.raises(ValueError):
+            lanczos_top_eigenpairs(lambda v: v, 3, 0)
+
+    def test_lanczos_backend_handles_disconnected_graph(self):
+        S = np.zeros((12, 12))
+        S[:6, :6] = 1.0
+        S[6:, 6:] = 1.0
+        np.fill_diagonal(S, 0.0)
+        L = normalized_laplacian(S)
+        vals, vecs = top_eigenvectors(L, 2, backend="lanczos", seed=0)
+        assert np.allclose(vals, [1.0, 1.0], atol=1e-8)
