@@ -179,7 +179,10 @@ class DASC:
                 k_i = int(allocation[b])
                 labels[idx] = offset + self._cluster_block(block, k_i, seed_rng)
                 offset += k_i
-        assert (labels >= 0).all()
+        if (labels < 0).any():
+            raise RuntimeError(
+                f"{int((labels < 0).sum())} points were never assigned a bucket cluster"
+            )
         if self.config.refine_to_k and offset > k_total:
             # Stitch cross-bucket fragments: merge the per-bucket cluster
             # union down to the requested K (extension beyond the paper).

@@ -88,5 +88,8 @@ def merge_clusters_to_k(X, labels, n_clusters: int) -> np.ndarray:
 
     roots = np.array([find(x) for x in range(c)])
     survivors, final = np.unique(roots, return_inverse=True)
-    assert survivors.shape[0] == n_clusters
+    if survivors.shape[0] != n_clusters:
+        raise RuntimeError(
+            f"cluster merge left {survivors.shape[0]} clusters, expected {n_clusters}"
+        )
     return final[compact].astype(np.int64)

@@ -172,7 +172,10 @@ class StreamingDASC:
             local = self._cluster_block_from_gram(X_b, S, k_i, seed_rng)
             labels[np.asarray(idx)] = offset + local
             offset += k_i
-        assert (labels >= 0).all()
+        if (labels < 0).any():
+            raise RuntimeError(
+                f"{int((labels < 0).sum())} points were never assigned a bucket cluster"
+            )
         if self.config.refine_to_k and offset > k_total:
             all_points = np.concatenate([g[0] for g in groups])
             all_idx = np.concatenate([np.asarray(g[1]) for g in groups])

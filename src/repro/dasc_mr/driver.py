@@ -12,6 +12,16 @@ allocation.
 :class:`repro.core.dasc.DASC` (same hashing, bucketing, kernels, spectral
 steps) but executes through the MapReduce engine, yielding the simulated
 makespans Table 3 reports for 16/32/64-node clusters.
+
+The driver is crash-recoverable: :meth:`DistributedDASC.submit` provisions
+the flow, :meth:`~DistributedDASC.run` executes and collects it, and — if
+the driver dies between stages — :meth:`~DistributedDASC.resume` restarts
+from the last completed checkpoint (the LSH pass is *not* redone) and
+produces byte-identical labels. Degradation ladder on the way down:
+per-attempt task retries, node-loss re-execution, speculative backups
+(see :mod:`repro.mapreduce.faults`), nearest-neighbour repair for any
+unlabelled point, and a structured
+:class:`~repro.mapreduce.job.JobFlowError` when retries are exhausted.
 """
 
 from __future__ import annotations
@@ -32,6 +42,14 @@ from repro.utils.memory import block_diagonal_bytes
 from repro.utils.validation import check_2d
 
 __all__ = ["DistributedResult", "DistributedDASC"]
+
+#: Floor for the Gaussian-kernel bandwidth: duplicate-heavy data can drive
+#: the median heuristic to zero, which would put 0/0 in every kernel entry.
+_SIGMA_EPS = 1e-9
+
+#: Step names the merge action appends dynamically (pruned before re-append
+#: so that resuming a crashed flow does not duplicate them).
+_DYNAMIC_STEPS = ("dasc-stage2-spectral", "dasc-stage2-simmat", "mahout-spectral")
 
 
 @dataclass
@@ -56,6 +74,12 @@ class DistributedResult:
         Per-stage Hadoop-style counter snapshots.
     stage_makespans:
         ``{"lsh": ..., "spectral": ...}`` per-stage simulated time.
+    n_repaired:
+        Points that came back unlabelled from stage 2 and were repaired by
+        nearest-labelled-neighbour assignment (0 in a healthy run).
+    resumed_steps:
+        Step indices restored from checkpoints (non-empty only after
+        :meth:`DistributedDASC.resume`).
     """
 
     labels: np.ndarray
@@ -66,6 +90,8 @@ class DistributedResult:
     n_nodes: int
     counters: dict = field(default_factory=dict)
     stage_makespans: dict = field(default_factory=dict)
+    n_repaired: int = 0
+    resumed_steps: tuple = ()
 
 
 class DistributedDASC:
@@ -119,9 +145,22 @@ class DistributedDASC:
         self.emr = emr if emr is not None else ElasticMapReduce()
         self.split_size = int(split_size)
         self.spectral_mode = spectral_mode
+        self._pending: dict[str, dict] = {}
+
+    # -- public API ----------------------------------------------------------
 
     def run(self, X) -> DistributedResult:
         """Execute the full job flow on ``X`` and return the collected result."""
+        flow_id = self.submit(X)
+        self.emr.run_job_flow(flow_id)
+        return self.collect(flow_id)
+
+    def submit(self, X) -> str:
+        """Provision the job flow for ``X`` without executing it.
+
+        Returns the flow id; pair with :meth:`collect` after
+        ``emr.run_job_flow`` (or :meth:`resume` after a crash).
+        """
         X = check_2d(X)
         n = X.shape[0]
         k_total = self.config.resolve_n_clusters(n)
@@ -129,6 +168,12 @@ class DistributedDASC:
         sigma = self.config.sigma
         if sigma is None:
             sigma = median_heuristic(X, seed=self.config.seed)
+        # Duplicate-heavy or degenerate data can produce sigma <= 0 (or a
+        # non-finite value from pathological inputs): clamp to a positive
+        # epsilon instead of poisoning every kernel entry downstream.
+        sigma = float(sigma)
+        if not np.isfinite(sigma) or sigma <= 0:
+            sigma = _SIGMA_EPS
 
         # Driver-side preprocessing: fit the global hash parameters
         # (Eqs. 4-5 need dataset-wide spans and histograms).
@@ -149,9 +194,73 @@ class DistributedDASC:
         flow.add_job(stage1, "input", "signatures")
 
         # Between-stage driver action: Eq.-6 merge + small-bucket folding +
-        # global cluster allocation, then materialise bucket files.
+        # global cluster allocation, then materialise bucket files. The
+        # action is idempotent so a resumed flow can replay it safely.
         state: dict = {}
+        flow.add_action("merge-buckets", self._merge_action(state, sigma, n_bits, k_total))
 
+        self._pending[flow_id] = {"flow": flow, "state": state, "n": n, "sigma": sigma}
+        return flow_id
+
+    def resume(self, flow_id: str) -> DistributedResult:
+        """Recover a crashed/interrupted flow and collect its result.
+
+        Completed MapReduce steps are restored from their S3 checkpoints
+        (the LSH pass is not redone after a crash between stages); driver
+        actions replay deterministically, so the labels are identical to an
+        uninterrupted run.
+        """
+        self.emr.resume_job_flow(flow_id)
+        return self.collect(flow_id)
+
+    def collect(self, flow_id: str) -> DistributedResult:
+        """Gather labels + statistics from an executed flow and terminate it."""
+        try:
+            pending = self._pending.pop(flow_id)
+        except KeyError:
+            raise KeyError(f"flow {flow_id!r} was not submitted by this driver") from None
+        flow, state, n = pending["flow"], pending["state"], pending["n"]
+        results = flow.results
+        if len(results) < len(flow.steps) or "buckets" not in state:
+            self._pending[flow_id] = pending  # still collectable after resume
+            raise RuntimeError(
+                f"flow {flow_id} is incomplete ({len(results)}/{len(flow.steps)} steps); "
+                "run or resume it before collecting"
+            )
+        stage1_result, stage2_result = results[0], results[2]
+
+        # Final step: collect labels from the output file into S3 and terminate.
+        label_records = flow.fs.read("labels")
+        labels = np.full(n, -1, dtype=np.int64)
+        for idx, lab in label_records:
+            labels[idx] = lab
+        labels, n_repaired = self._validate_and_repair(flow_id, labels)
+        self.emr.s3.put(f"{flow_id}/output/labels", labels)
+        self.emr.terminate(flow_id)
+
+        buckets = state["buckets"]
+        return DistributedResult(
+            labels=labels,
+            n_clusters=state["total_clusters"],
+            n_buckets=buckets.n_buckets,
+            makespan=flow.makespan + state.get("spectral_makespan", 0.0),
+            gram_bytes=block_diagonal_bytes(buckets.sizes),
+            n_nodes=self.n_nodes,
+            counters={
+                "stage1": stage1_result.counters.as_dict(),
+                "stage2": stage2_result.counters.as_dict(),
+            },
+            stage_makespans={
+                "lsh": stage1_result.makespan,
+                "spectral": stage2_result.makespan + state.get("spectral_makespan", 0.0),
+            },
+            n_repaired=n_repaired,
+            resumed_steps=tuple(flow.restored_steps),
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _merge_action(self, state: dict, sigma: float, n_bits: int, k_total: int):
         def merge_action(fl):
             records = fl.fs.read("signatures")  # (signature, (index, vector))
             sigs = np.array([r[0] for r in records], dtype=np.uint64)
@@ -167,12 +276,14 @@ class DistributedDASC:
             bucket_records = [
                 (int(buckets.assignments[i]), payloads[i]) for i in range(len(payloads))
             ]
-            fl.fs.write("buckets", bucket_records, split_size=self.split_size)
+            fl.fs.write("buckets", bucket_records, split_size=self.split_size, overwrite=True)
             state["buckets"] = buckets
             state["allocation"] = allocation
             state["total_clusters"] = int(ks.sum())
             # Stage 2 must exist before run() reaches it; append it now that
-            # the allocation is known.
+            # the allocation is known. A resumed flow replays this action,
+            # so prune any stage-2 steps a previous run already appended.
+            fl.remove_steps_named(*_DYNAMIC_STEPS)
             if self.spectral_mode == "inline":
                 stage2 = make_clustering_job(
                     sigma=sigma,
@@ -194,40 +305,28 @@ class DistributedDASC:
                 fl.add_action("mahout-spectral", self._mahout_spectral_action(state))
             return allocation
 
-        flow.add_action("merge-buckets", merge_action)
+        return merge_action
 
-        results = self.emr.run_job_flow(flow_id)
-        stage2_result = results[2]
+    def _validate_and_repair(self, flow_id: str, labels: np.ndarray) -> tuple[np.ndarray, int]:
+        """Graceful degradation for unlabelled points.
 
-        # Final step: collect labels from the output file into S3 and terminate.
-        label_records = flow.fs.read("labels")
-        labels = np.full(n, -1, dtype=np.int64)
-        for idx, lab in label_records:
-            labels[idx] = lab
-        assert (labels >= 0).all(), "every point must be labelled"
-        self.emr.s3.put(f"{flow_id}/output/labels", labels)
-        self.emr.terminate(flow_id)
-
-        buckets = state["buckets"]
-        stage1_result = results[0]
-        return DistributedResult(
-            labels=labels,
-            n_clusters=state["total_clusters"],
-            n_buckets=buckets.n_buckets,
-            makespan=flow.makespan + state.get("spectral_makespan", 0.0),
-            gram_bytes=block_diagonal_bytes(buckets.sizes),
-            n_nodes=self.n_nodes,
-            counters={
-                "stage1": stage1_result.counters.as_dict(),
-                "stage2": stage2_result.counters.as_dict(),
-            },
-            stage_makespans={
-                "lsh": stage1_result.makespan,
-                "spectral": stage2_result.makespan + state.get("spectral_makespan", 0.0),
-            },
-        )
-
-    # -- internals ----------------------------------------------------------
+        A healthy flow labels every point; if label records went missing
+        anyway, assign each orphan the label of its nearest labelled
+        neighbour (its de-facto bucket) instead of crashing the driver.
+        """
+        unlabelled = np.flatnonzero(labels < 0)
+        if unlabelled.size == 0:
+            return labels, 0
+        if unlabelled.size == labels.size:
+            raise RuntimeError(
+                f"flow {flow_id} produced no labels at all; nothing to repair from"
+            )
+        X = np.asarray(self.emr.s3.get(f"{flow_id}/input"), dtype=np.float64)
+        labelled = np.flatnonzero(labels >= 0)
+        for i in unlabelled:
+            d2 = np.sum((X[labelled] - X[i]) ** 2, axis=1)
+            labels[i] = labels[labelled[int(np.argmin(d2))]]
+        return labels, int(unlabelled.size)
 
     def _mahout_spectral_action(self, state: dict):
         """Driver step delegating the spectral phase to MR spectral clustering.
@@ -262,7 +361,7 @@ class DistributedDASC:
                 label_records.extend(
                     (idx, offset + int(lab)) for idx, lab in zip(indices, local)
                 )
-            fl.fs.write("labels", label_records)
+            fl.fs.write("labels", label_records, overwrite=True)
             state["spectral_makespan"] = extra_makespan
             return extra_makespan
 

@@ -103,7 +103,10 @@ class KernelKMeans:
             labels[idx] = offset + local
             inertia += block_inertia
             offset += int(k_i)
-        assert (labels >= 0).all()
+        if (labels < 0).any():
+            raise RuntimeError(
+                f"{int((labels < 0).sum())} points were never assigned to a block cluster"
+            )
         self.labels_ = labels
         self.inertia_ = inertia
         return self

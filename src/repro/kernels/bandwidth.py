@@ -35,7 +35,7 @@ def median_heuristic(X, *, max_samples: int = 512, seed=0) -> float:
     if upper.size == 0:
         return 1.0
     sigma = float(np.sqrt(np.median(upper)))
-    return sigma if sigma > 0 else 1.0
+    return sigma if np.isfinite(sigma) and sigma > 0 else 1.0
 
 
 def mean_knn_heuristic(X, *, k: int = 7, max_samples: int = 512, seed=0) -> float:
@@ -56,4 +56,4 @@ def mean_knn_heuristic(X, *, k: int = 7, max_samples: int = 512, seed=0) -> floa
     k_eff = min(k, n - 1)
     kth = np.sqrt(np.partition(d2, k_eff - 1, axis=1)[:, k_eff - 1])
     sigma = float(np.mean(kth))
-    return sigma if sigma > 0 else 1.0
+    return sigma if np.isfinite(sigma) and sigma > 0 else 1.0

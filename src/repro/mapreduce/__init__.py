@@ -18,7 +18,7 @@ deployment story needs:
 
 from repro.mapreduce.types import KeyValue, MapTaskResult, JobSpec
 from repro.mapreduce.counters import Counters
-from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.engine import MapReduceEngine, stable_hash
 from repro.mapreduce.hdfs import SimulatedHDFS, FileSplit
 from repro.mapreduce.cluster import (
     NodeConfig,
@@ -26,9 +26,18 @@ from repro.mapreduce.cluster import (
     TABLE2_DEFAULTS,
     SimulatedCluster,
     TaskStats,
+    PhaseTask,
+    SpeculationConfig,
 )
-from repro.mapreduce.job import Job, JobFlow, JobFlowStep
+from repro.mapreduce.job import Job, JobFlow, JobFlowStep, JobFlowError
 from repro.mapreduce.emr import S3Store, ElasticMapReduce
+from repro.mapreduce.faults import (
+    FaultPolicy,
+    NodeFailurePolicy,
+    StragglerPolicy,
+    FaultyEngine,
+    TaskFailedError,
+)
 
 __all__ = [
     "KeyValue",
@@ -36,6 +45,7 @@ __all__ = [
     "JobSpec",
     "Counters",
     "MapReduceEngine",
+    "stable_hash",
     "SimulatedHDFS",
     "FileSplit",
     "NodeConfig",
@@ -43,9 +53,17 @@ __all__ = [
     "TABLE2_DEFAULTS",
     "SimulatedCluster",
     "TaskStats",
+    "PhaseTask",
+    "SpeculationConfig",
     "Job",
     "JobFlow",
     "JobFlowStep",
+    "JobFlowError",
     "S3Store",
     "ElasticMapReduce",
+    "FaultPolicy",
+    "NodeFailurePolicy",
+    "StragglerPolicy",
+    "FaultyEngine",
+    "TaskFailedError",
 ]

@@ -14,7 +14,15 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
-__all__ = ["NodeConfig", "EMR_NODE_CONFIG", "TABLE2_DEFAULTS", "TaskStats", "SimulatedCluster"]
+__all__ = [
+    "NodeConfig",
+    "EMR_NODE_CONFIG",
+    "TABLE2_DEFAULTS",
+    "TaskStats",
+    "PhaseTask",
+    "SpeculationConfig",
+    "SimulatedCluster",
+]
 
 
 @dataclass(frozen=True)
@@ -51,6 +59,13 @@ class TaskStats:
     makespan: float
     per_slot_cost: list[float] = field(default_factory=list)
     n_local_tasks: int = 0  # tasks that ran on a node holding their data
+    # -- fault/speculation accounting (zero when the phase ran clean) --------
+    n_node_failures: int = 0  # nodes preempted during the phase
+    n_tasks_lost: int = 0  # in-flight attempts killed with their node
+    n_map_outputs_lost: int = 0  # completed map outputs lost with their node
+    speculative_launched: int = 0  # backup attempts started for stragglers
+    speculative_won: int = 0  # backups that beat the original attempt
+    wasted_cost: float = 0.0  # work charged to the clock but thrown away
 
     @property
     def utilization(self) -> float:
@@ -65,6 +80,56 @@ class TaskStats:
         if self.n_tasks == 0:
             return 1.0
         return self.n_local_tasks / self.n_tasks
+
+
+@dataclass(frozen=True)
+class PhaseTask:
+    """One task entering :meth:`SimulatedCluster.simulate_phase`.
+
+    ``cost`` is the nominal work a healthy attempt charges; ``slowdown``
+    inflates the attempt's *runtime* (a straggling container / sick node)
+    without changing the work a re-execution or backup would need.
+    """
+
+    cost: float
+    slowdown: float = 1.0
+    preferred_nodes: tuple = ()
+
+    def __post_init__(self):
+        if self.cost < 0:
+            raise ValueError("task costs must be non-negative")
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """Hadoop-style speculative execution knobs.
+
+    A backup attempt launches for any task whose runtime exceeds
+    ``lag_threshold`` times the phase's median task runtime, once the median
+    runtime has elapsed (the point where the JobTracker can tell the task is
+    lagging its peers). First finisher wins; the loser is killed and its
+    burned slot time stays on the clock.
+    """
+
+    lag_threshold: float = 1.5
+
+    def __post_init__(self):
+        if self.lag_threshold <= 1.0:
+            raise ValueError(f"lag_threshold must be > 1, got {self.lag_threshold}")
+
+
+@dataclass
+class _Attempt:
+    """One execution attempt of a task on a slot (internal bookkeeping)."""
+
+    task: int
+    slot: int
+    start: float
+    end: float
+    charge: float
+    completes: bool  # whether this attempt currently produces the task's output
 
 
 class SimulatedCluster:
@@ -189,3 +254,208 @@ class SimulatedCluster:
             per_slot_cost=loads,
             n_local_tasks=n_local,
         )
+
+    # -- fault-aware phase simulation ---------------------------------------
+
+    def simulate_phase(
+        self,
+        tasks,
+        *,
+        phase: str = "map",
+        node_failures=(),
+        speculation: SpeculationConfig | None = None,
+        remote_penalty: float = 0.25,
+    ) -> TaskStats:
+        """Run one phase under node preemption, stragglers, and speculation.
+
+        ``tasks`` is a list of :class:`PhaseTask` (or ``(cost, slowdown,
+        preferred_nodes)`` tuples). ``node_failures`` is a list of
+        ``(node_id, time_fraction)`` kills: the node is preempted at
+        ``time_fraction`` of the phase's fault-free makespan, taking down
+        its in-flight attempts and — Hadoop map-output semantics — any map
+        outputs it was holding; reduce outputs are already on the DFS and
+        survive. Lost work is re-placed on the surviving nodes and
+        re-charged to the clock. ``speculation`` races stragglers with a
+        backup attempt at nominal speed; first finisher wins.
+
+        Because task *results* are computed deterministically by the engine,
+        everything here is pure cost/latency accounting — the invariant the
+        fault-tolerance tests assert is that outputs never change, only the
+        makespan and the fault counters do.
+        """
+        if phase not in ("map", "reduce"):
+            raise ValueError(f"phase must be 'map' or 'reduce', got {phase!r}")
+        if remote_penalty < 0:
+            raise ValueError(f"remote_penalty must be >= 0, got {remote_penalty}")
+        per_node = self.node.map_slots if phase == "map" else self.node.reduce_slots
+        n_slots = self.n_nodes * per_node
+        parsed: list[PhaseTask] = []
+        for t in tasks:
+            if not isinstance(t, PhaseTask):
+                t = PhaseTask(*t)
+            parsed.append(
+                PhaseTask(
+                    cost=float(t.cost),
+                    slowdown=float(t.slowdown),
+                    preferred_nodes=tuple(int(p) % self.n_nodes for p in (t.preferred_nodes or ())),
+                )
+            )
+        n_tasks = len(parsed)
+        stats = TaskStats(n_tasks=n_tasks, total_cost=0.0, makespan=0.0)
+        free = [0.0] * n_slots
+        slot_charge = [0.0] * n_slots
+        attempts: list[_Attempt] = []
+        completion = [0.0] * n_tasks
+
+        def node_of(slot: int) -> int:
+            return slot // per_node
+
+        def charge(a: _Attempt, amount: float) -> None:
+            a.charge = amount
+            slot_charge[a.slot] += amount
+
+        durations = [t.cost * t.slowdown for t in parsed]
+        median = sorted(durations)[n_tasks // 2] if n_tasks else 0.0
+
+        # -- pass 1: LPT placement (locality-aware) + speculative backups ----
+        n_local = 0
+        order = sorted(range(n_tasks), key=lambda i: (-durations[i], i))
+        for i in order:
+            task = parsed[i]
+            preferred = frozenset(task.preferred_nodes)
+            best_local = best_remote = None
+            for slot in range(n_slots):
+                if preferred and node_of(slot) in preferred:
+                    if best_local is None or free[slot] < free[best_local]:
+                        best_local = slot
+                else:
+                    if best_remote is None or free[slot] < free[best_remote]:
+                        best_remote = slot
+            run_cost = task.cost * (1.0 + remote_penalty) if preferred else task.cost
+            use_local = best_local is not None and (
+                best_remote is None
+                or free[best_local] + task.cost * task.slowdown
+                <= free[best_remote] + run_cost * task.slowdown
+            )
+            if use_local or not preferred:
+                n_local += 1
+            slot = best_local if use_local else best_remote
+            eff_cost = task.cost if use_local else run_cost
+            dur = eff_cost * task.slowdown
+            a = _Attempt(task=i, slot=slot, start=free[slot], end=free[slot] + dur,
+                         charge=0.0, completes=True)
+            charge(a, eff_cost)
+            free[slot] = a.end
+            attempts.append(a)
+            completion[i] = a.end
+
+            if (
+                speculation is not None
+                and median > 0
+                and dur > speculation.lag_threshold * median
+                and task.slowdown > 1.0
+            ):
+                # The task is visibly lagging once the median runtime has
+                # elapsed: launch a backup on the least-loaded slot of
+                # another node, running at nominal speed.
+                detect = a.start + median
+                backup_slot = None
+                for slot2 in range(n_slots):
+                    if node_of(slot2) == node_of(a.slot):
+                        continue
+                    if backup_slot is None or free[slot2] < free[backup_slot]:
+                        backup_slot = slot2
+                if backup_slot is None:
+                    continue  # single-node cluster: nowhere to speculate
+                b_start = max(free[backup_slot], detect)
+                b_end = b_start + task.cost
+                if b_start >= a.end:
+                    continue  # original finishes before the backup could start
+                stats.speculative_launched += 1
+                if b_end < a.end:
+                    # Backup wins; the original is killed at the backup's finish.
+                    stats.speculative_won += 1
+                    b = _Attempt(task=i, slot=backup_slot, start=b_start, end=b_end,
+                                 charge=0.0, completes=True)
+                    charge(b, task.cost)
+                    free[backup_slot] = b_end
+                    attempts.append(b)
+                    a.completes = False
+                    burned = max(0.0, b_end - a.start)
+                    slot_charge[a.slot] += burned - a.charge
+                    stats.wasted_cost += burned
+                    a.charge = burned
+                    a.end = b_end
+                    free[a.slot] = b_end
+                    completion[i] = b_end
+                else:
+                    # Backup loses; it is killed when the original finishes.
+                    burned = a.end - b_start
+                    b = _Attempt(task=i, slot=backup_slot, start=b_start, end=a.end,
+                                 charge=0.0, completes=False)
+                    charge(b, burned)
+                    stats.wasted_cost += burned
+                    free[backup_slot] = a.end
+                    attempts.append(b)
+
+        # -- pass 2: node preemption, time-ordered --------------------------
+        dead: set[int] = set()
+        base_span = max(completion) if n_tasks else 0.0
+        kills = sorted(
+            ((int(node) % self.n_nodes, float(frac)) for node, frac in node_failures),
+            key=lambda kv: kv[1],
+        )
+        for node, frac in kills:
+            if not 0.0 < frac <= 1.0:
+                raise ValueError(f"kill time fraction must be in (0, 1], got {frac}")
+            if node in dead:
+                continue
+            if len(dead) + 1 >= self.n_nodes:
+                break  # never preempt the last surviving node
+            t_kill = frac * base_span
+            dead.add(node)
+            stats.n_node_failures += 1
+            lost: list[int] = []
+            for a in attempts:
+                if node_of(a.slot) != node:
+                    continue
+                if a.end > t_kill:
+                    # In-flight (or queued) when the node went away.
+                    burned = max(0.0, t_kill - a.start)
+                    slot_charge[a.slot] += burned - a.charge
+                    stats.wasted_cost += burned
+                    a.charge = burned
+                    a.end = min(a.end, max(a.start, t_kill))
+                    if a.completes:
+                        a.completes = False
+                        lost.append(a.task)
+                        stats.n_tasks_lost += 1
+                elif a.completes and phase == "map":
+                    # Completed, but its map output lived on the dead node.
+                    a.completes = False
+                    lost.append(a.task)
+                    stats.n_map_outputs_lost += 1
+                    stats.wasted_cost += a.charge
+            alive_slots = [s for s in range(n_slots) if node_of(s) not in dead]
+            for i in sorted(set(lost), key=lambda j: (-parsed[j].cost, j)):
+                task = parsed[i]
+                preferred = frozenset(task.preferred_nodes) - dead
+                slot = min(alive_slots, key=lambda s: (max(free[s], t_kill), s))
+                re_cost = (
+                    task.cost
+                    if not preferred or node_of(slot) in preferred
+                    else task.cost * (1.0 + remote_penalty)
+                )
+                start = max(free[slot], t_kill)
+                a = _Attempt(task=i, slot=slot, start=start, end=start + re_cost,
+                             charge=0.0, completes=True)
+                charge(a, re_cost)
+                free[slot] = a.end
+                attempts.append(a)
+                completion[i] = a.end
+
+        stats.total_cost = sum(slot_charge)
+        stats.makespan = max(completion) if n_tasks else 0.0
+        stats.per_slot_cost = slot_charge
+        stats.n_local_tasks = n_local
+        return stats

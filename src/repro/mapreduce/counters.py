@@ -35,5 +35,14 @@ class Counters:
         """Full snapshot."""
         return {g: dict(n) for g, n in self._data.items()}
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Counters":
+        """Rebuild counters from an :meth:`as_dict` snapshot (checkpoints)."""
+        out = cls()
+        for group, names in data.items():
+            for name, amount in names.items():
+                out.increment(group, name, amount)
+        return out
+
     def __repr__(self) -> str:
         return f"Counters({self.as_dict()!r})"

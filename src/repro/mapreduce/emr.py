@@ -64,28 +64,54 @@ class ElasticMapReduce:
         self._flows: dict[str, _ProvisionedFlow] = {}
         self._next_id = 0
 
-    def create_job_flow(self, n_nodes: int, *, split_size: int = 1024) -> tuple[str, JobFlow]:
-        """Provision a cluster of ``n_nodes`` and return (flow_id, JobFlow)."""
+    def create_job_flow(
+        self, n_nodes: int, *, split_size: int = 1024, checkpoint: bool = True
+    ) -> tuple[str, JobFlow]:
+        """Provision a cluster of ``n_nodes`` and return (flow_id, JobFlow).
+
+        With ``checkpoint`` on (the default), completed job steps persist
+        their outputs to S3 under ``{flow_id}/checkpoints/`` so the flow can
+        be resumed after a driver crash via :meth:`resume_job_flow`.
+        """
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
         cluster = SimulatedCluster(n_nodes, node=self.node_config)
+        flow_id = f"j-{self._next_id:06d}"
         flow = JobFlow(
             engine=MapReduceEngine(cluster),
             fs=SimulatedHDFS(
                 n_nodes, replication=self.node_config.replication, default_split_size=split_size
             ),
+            checkpoint_store=self.s3 if checkpoint else None,
+            checkpoint_prefix=f"{flow_id}/checkpoints",
         )
-        flow_id = f"j-{self._next_id:06d}"
         self._next_id += 1
         self._flows[flow_id] = _ProvisionedFlow(flow_id=flow_id, flow=flow, n_nodes=n_nodes)
         return flow_id, flow
 
-    def run_job_flow(self, flow_id: str) -> list:
-        """Execute all steps of a provisioned flow."""
+    def run_job_flow(self, flow_id: str, *, max_steps: int | None = None) -> list:
+        """Execute the steps of a provisioned flow.
+
+        ``max_steps`` stops the driver loop early, leaving the flow
+        incomplete — the chaos tests use it to simulate a driver crash
+        between steps.
+        """
         entry = self._flow(flow_id)
         if entry.terminated:
             raise RuntimeError(f"job flow {flow_id} is terminated")
-        return entry.flow.run()
+        return entry.flow.run(max_steps=max_steps)
+
+    def resume_job_flow(self, flow_id: str) -> list:
+        """Restart an interrupted flow from its last completed checkpoint.
+
+        Completed job steps are restored from S3 instead of re-executed;
+        driver-side action steps re-run (they are deterministic). The flow
+        must still be provisioned and not terminated.
+        """
+        entry = self._flow(flow_id)
+        if entry.terminated:
+            raise RuntimeError(f"job flow {flow_id} is terminated")
+        return entry.flow.run(resume=True)
 
     def terminate(self, flow_id: str) -> None:
         """Release the flow's cluster (idempotent)."""
@@ -99,6 +125,7 @@ class ElasticMapReduce:
             "n_nodes": entry.n_nodes,
             "n_steps": len(entry.flow.steps),
             "completed_steps": len(entry.flow.results),
+            "restored_steps": list(entry.flow.restored_steps),
             "terminated": entry.terminated,
             "makespan": entry.flow.makespan,
         }

@@ -10,6 +10,7 @@ the distribution being simulated is the scheduling, not the arithmetic.
 
 from __future__ import annotations
 
+import zlib
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any
@@ -19,7 +20,7 @@ from repro.mapreduce.counters import Counters
 from repro.mapreduce.hdfs import FileSplit
 from repro.mapreduce.types import JobSpec, MapTaskResult
 
-__all__ = ["TaskContext", "JobResult", "MapReduceEngine"]
+__all__ = ["TaskContext", "JobResult", "MapReduceEngine", "stable_hash"]
 
 
 @dataclass
@@ -45,6 +46,7 @@ class JobResult:
     map_stats: TaskStats
     reduce_stats: TaskStats
     partitions: dict[int, list[tuple]] = field(default_factory=dict)
+    from_checkpoint: bool = False  # restored by job-flow recovery, not re-executed
 
     @property
     def makespan(self) -> float:
@@ -52,8 +54,21 @@ class JobResult:
         return self.map_stats.makespan + self.reduce_stats.makespan
 
 
+def stable_hash(key: Any) -> int:
+    """A process-independent hash for shuffle partitioning.
+
+    Python's builtin ``hash`` is salted per process for ``str``/``bytes``
+    (PYTHONHASHSEED), so hash partitioning with it shuffles string-keyed
+    jobs differently across runs. CRC32 over a canonical ``(type, repr)``
+    encoding is stable across processes, platforms, and hash seeds —
+    matching Hadoop, whose HashPartitioner is deterministic.
+    """
+    data = f"{type(key).__name__}:{key!r}".encode("utf-8", "backslashreplace")
+    return zlib.crc32(data)
+
+
 def _default_partitioner(key: Any, n_partitions: int) -> int:
-    return hash(key) % n_partitions
+    return stable_hash(key) % n_partitions
 
 
 def _sort_key(item: tuple) -> tuple:
@@ -86,22 +101,22 @@ class MapReduceEngine:
         counters = Counters()
         map_results = []
         placements = []
-        for i, split in enumerate(splits):
-            if isinstance(split, FileSplit):
-                records = split.records
-                placements.append(split.preferred_nodes)
-            else:
-                records = split
-                placements.append(())
-            ctx = TaskContext(job=job, counters=counters, task_id=f"map-{i}")
-            map_results.append(self._run_map_task(job, records, ctx))
-        if any(placements):
-            # HDFS splits carry replica locations: schedule data-locally.
-            map_stats = self.cluster.schedule_with_locality(
-                [(r.cost, p) for r, p in zip(map_results, placements)], phase="map"
-            )
-        else:
-            map_stats = self.cluster.schedule([r.cost for r in map_results], phase="map")
+        try:
+            for i, split in enumerate(splits):
+                if isinstance(split, FileSplit):
+                    records = split.records
+                    placements.append(split.preferred_nodes)
+                else:
+                    records = split
+                    placements.append(())
+                ctx = TaskContext(job=job, counters=counters, task_id=f"map-{i}")
+                map_results.append(self._run_map_task(job, records, ctx))
+        except Exception as exc:
+            # Let structured error handling upstream (JobFlowError) report
+            # the partial counter state of the failed job.
+            exc.counters = counters
+            raise
+        map_stats = self._schedule_map_phase(map_results, placements, counters)
         counters.increment("job", "map_tasks", len(map_results))
 
         if job.reducer is None:
@@ -118,13 +133,17 @@ class MapReduceEngine:
         output: list[tuple] = []
         reduce_costs = []
         partition_outputs: dict[int, list[tuple]] = {}
-        for p in sorted(partitions):
-            ctx = TaskContext(job=job, counters=counters, task_id=f"reduce-{p}")
-            part_out, cost = self._run_reduce_task(job, partitions[p], ctx)
-            partition_outputs[p] = part_out
-            output.extend(part_out)
-            reduce_costs.append(cost)
-        reduce_stats = self.cluster.schedule(reduce_costs, phase="reduce")
+        try:
+            for p in sorted(partitions):
+                ctx = TaskContext(job=job, counters=counters, task_id=f"reduce-{p}")
+                part_out, cost = self._run_reduce_task(job, partitions[p], ctx)
+                partition_outputs[p] = part_out
+                output.extend(part_out)
+                reduce_costs.append(cost)
+        except Exception as exc:
+            exc.counters = counters
+            raise
+        reduce_stats = self._schedule_reduce_phase(reduce_costs, counters)
         counters.increment("job", "reduce_tasks", len(reduce_costs))
         return JobResult(
             job_name=job.name,
@@ -134,6 +153,21 @@ class MapReduceEngine:
             reduce_stats=reduce_stats,
             partitions=partition_outputs,
         )
+
+    # -- scheduling hooks (overridden by the fault-injecting engine) ---------
+
+    def _schedule_map_phase(self, map_results, placements, counters: Counters) -> TaskStats:
+        """Place the executed map tasks' costs on the simulated cluster."""
+        if any(placements):
+            # HDFS splits carry replica locations: schedule data-locally.
+            return self.cluster.schedule_with_locality(
+                [(r.cost, p) for r, p in zip(map_results, placements)], phase="map"
+            )
+        return self.cluster.schedule([r.cost for r in map_results], phase="map")
+
+    def _schedule_reduce_phase(self, reduce_costs, counters: Counters) -> TaskStats:
+        """Place the executed reduce tasks' costs on the simulated cluster."""
+        return self.cluster.schedule(reduce_costs, phase="reduce")
 
     # -- phases ----------------------------------------------------------------
 

@@ -66,10 +66,17 @@ class SimulatedHDFS:
 
     # -- writes ------------------------------------------------------------
 
-    def write(self, path: str, records, *, split_size: int | None = None) -> None:
-        """Store ``records`` under ``path``, splitting and placing blocks."""
+    def write(self, path: str, records, *, split_size: int | None = None, overwrite: bool = False) -> None:
+        """Store ``records`` under ``path``, splitting and placing blocks.
+
+        Files are immutable (Hadoop semantics) unless ``overwrite`` is set —
+        the escape hatch job-flow recovery uses to re-materialise a step's
+        output when resuming after a driver crash.
+        """
         if path in self._files:
-            raise FileExistsError(f"{path!r} already exists (HDFS files are immutable)")
+            if not overwrite:
+                raise FileExistsError(f"{path!r} already exists (HDFS files are immutable)")
+            del self._files[path]
         size = split_size or self.default_split_size
         if size < 1:
             raise ValueError(f"split_size must be >= 1, got {size}")

@@ -4,6 +4,15 @@ A :class:`Job` binds a JobSpec to input/output paths on a filesystem; a
 :class:`JobFlow` is the EMR notion of an ordered list of steps executed on a
 provisioned cluster ("a collection of processing steps that EMR runs on a
 specified dataset using a set of Amazon EC2 instances").
+
+Job flows are the unit of *driver-crash recovery*: when a checkpoint store
+is attached, every completed MapReduce step persists its output (plus its
+counters and scheduling stats), and ``run(resume=True)`` replays the flow
+restoring completed job steps from their checkpoints instead of re-executing
+them. Driver-side action steps are deterministic and cheap, so they re-run
+on resume. A step whose tasks exhaust their retry budget surfaces as a
+structured :class:`JobFlowError` carrying the failed step and its partial
+counters.
 """
 
 from __future__ import annotations
@@ -11,11 +20,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.mapreduce.counters import Counters
 from repro.mapreduce.engine import JobResult, MapReduceEngine
 from repro.mapreduce.hdfs import SimulatedHDFS
 from repro.mapreduce.types import JobSpec
 
-__all__ = ["Job", "JobFlowStep", "JobFlow"]
+__all__ = ["Job", "JobFlowStep", "JobFlow", "JobFlowError"]
+
+
+class JobFlowError(RuntimeError):
+    """A job-flow step failed beyond its retry budget.
+
+    Attributes
+    ----------
+    step_name / step_index:
+        Which step died.
+    counters:
+        Partial counter state of the failed job (``None`` when the failure
+        happened outside a counter scope), including the ``faults`` group
+        with the attempt history.
+    """
+
+    def __init__(self, message: str, *, step_name: str, step_index: int, counters=None):
+        super().__init__(message)
+        self.step_name = step_name
+        self.step_index = step_index
+        self.counters = counters
 
 
 @dataclass
@@ -26,11 +56,11 @@ class Job:
     input_path: str
     output_path: str
 
-    def run(self, engine: MapReduceEngine, fs: SimulatedHDFS) -> JobResult:
+    def run(self, engine: MapReduceEngine, fs: SimulatedHDFS, *, overwrite: bool = False) -> JobResult:
         """Read splits from ``input_path``, run, write output to ``output_path``."""
         splits = fs.splits(self.input_path)
         result = engine.run(self.spec, splits)
-        fs.write(self.output_path, result.output)
+        fs.write(self.output_path, result.output, overwrite=overwrite)
         return result
 
 
@@ -56,14 +86,26 @@ class JobFlow:
     results:
         Per-step outcome: :class:`JobResult` for job steps, the action's
         return value for action steps.
+    checkpoint_store:
+        Optional S3-like object store (``put/get/exists``); when set, each
+        completed job step's output is persisted so the flow can be resumed
+        after a driver crash.
+    checkpoint_prefix:
+        Key prefix for this flow's checkpoints in the store.
+    restored_steps:
+        Indices of steps restored from checkpoints by the last ``run``.
     makespan:
-        Total simulated wall-clock across all executed job steps.
+        Total simulated wall-clock across all executed job steps (restored
+        steps contribute their originally recorded makespan).
     """
 
     engine: MapReduceEngine
     fs: SimulatedHDFS
     steps: list[JobFlowStep] = field(default_factory=list)
     results: list = field(default_factory=list)
+    checkpoint_store: object | None = None
+    checkpoint_prefix: str = "checkpoints"
+    restored_steps: list[int] = field(default_factory=list)
 
     def add_job(self, spec: JobSpec, input_path: str, output_path: str) -> "JobFlow":
         """Append a MapReduce step."""
@@ -75,17 +117,89 @@ class JobFlow:
         self.steps.append(JobFlowStep(name=name, action=action))
         return self
 
-    def run(self) -> list:
-        """Execute all steps in order; stores and returns per-step results."""
+    def remove_steps_named(self, *names: str) -> None:
+        """Drop steps by name (used by resumable drivers to re-append
+        dynamically generated downstream steps idempotently)."""
+        self.steps[:] = [s for s in self.steps if s.name not in names]
+
+    def run(self, *, resume: bool = False, max_steps: int | None = None) -> list:
+        """Execute all steps in order; stores and returns per-step results.
+
+        Parameters
+        ----------
+        resume:
+            Restore completed job steps from the checkpoint store instead of
+            re-executing them (driver-crash recovery). Action steps re-run —
+            they are deterministic driver code.
+        max_steps:
+            Stop after this many steps, leaving the flow incomplete — the
+            hook chaos tests use to simulate a driver crash mid-flow.
+        """
         self.results = []
-        for step in self.steps:
+        self.restored_steps = []
+        executed = 0
+        i = 0
+        while i < len(self.steps):
+            if max_steps is not None and executed >= max_steps:
+                break
+            step = self.steps[i]
             if step.job is not None:
-                self.results.append(step.job.run(self.engine, self.fs))
+                self.results.append(self._run_job_step(step, i, resume))
             else:
                 self.results.append(step.action(self))
+            executed += 1
+            i += 1
         return self.results
 
     @property
     def makespan(self) -> float:
         """Sum of simulated makespans over completed job steps."""
         return sum(r.makespan for r in self.results if isinstance(r, JobResult))
+
+    # -- internals -----------------------------------------------------------
+
+    def _checkpoint_key(self, index: int) -> str:
+        return f"{self.checkpoint_prefix}/step-{index:03d}"
+
+    def _run_job_step(self, step: JobFlowStep, index: int, resume: bool) -> JobResult:
+        key = self._checkpoint_key(index)
+        if resume and self.checkpoint_store is not None and self.checkpoint_store.exists(key):
+            result = self._restore(step, self.checkpoint_store.get(key))
+            self.restored_steps.append(index)
+            return result
+        try:
+            # On resume the output may already exist from the crashed run;
+            # Hadoop semantics are delete-then-rerun.
+            result = step.job.run(self.engine, self.fs, overwrite=resume)
+        except Exception as exc:
+            raise JobFlowError(
+                f"job flow step {index} ({step.name!r}) failed: {exc}",
+                step_name=step.name,
+                step_index=index,
+                counters=getattr(exc, "counters", None),
+            ) from exc
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.put(
+                key,
+                {
+                    "step_name": step.name,
+                    "output": list(result.output),
+                    "counters": result.counters.as_dict(),
+                    "map_stats": result.map_stats,
+                    "reduce_stats": result.reduce_stats,
+                },
+            )
+        return result
+
+    def _restore(self, step: JobFlowStep, payload: dict) -> JobResult:
+        """Re-materialise a completed step from its checkpoint."""
+        output = list(payload["output"])
+        self.fs.write(step.job.output_path, output, overwrite=True)
+        return JobResult(
+            job_name=step.name,
+            output=output,
+            counters=Counters.from_dict(payload["counters"]),
+            map_stats=payload["map_stats"],
+            reduce_stats=payload["reduce_stats"],
+            from_checkpoint=True,
+        )

@@ -64,10 +64,21 @@ def top_eigenvectors(L, k: int, *, backend: str = "dense", seed=0) -> tuple[np.n
         # Restarted Lanczos: handles degenerate eigenvalues (disconnected
         # affinity graphs) by deflated restarts after early breakdowns.
         dense = _densify(L)
-        vals, vecs = lanczos_top_eigenpairs(lambda v: dense @ v, n, k, seed=seed)
-        if vals.shape[0] == k:
+        try:
+            vals, vecs = lanczos_top_eigenpairs(lambda v: dense @ v, n, k, seed=seed)
+        except (RuntimeError, np.linalg.LinAlgError):
+            # Non-convergence (e.g. the tridiagonal QL hit its sweep cap):
+            # degrade gracefully to the exact dense solver.
+            vals = vecs = None
+        if (
+            vals is not None
+            and vals.shape[0] == k
+            and np.isfinite(vals).all()
+            and np.isfinite(vecs).all()
+        ):
             return vals, vecs
-        # Space exhausted early (tiny matrices): fall through to dense.
+        # Space exhausted early (tiny matrices), non-convergence, or a
+        # numerically broken result: fall through to dense.
 
     # Dense fallback (also the small-n path for the iterative backends).
     vals, vecs = np.linalg.eigh(_densify(L))

@@ -1,0 +1,21 @@
+"""Lint: no bare ``assert`` statements on runtime data inside ``src/repro``.
+
+Asserts vanish under ``python -O`` and produce opaque AssertionErrors with no
+context; library code must raise explicit exceptions instead. Tests are free
+to use ``assert`` — this walk covers only the installed package.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def test_no_assert_statements_in_library_code():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assert):
+                offenders.append(f"{path.relative_to(SRC.parent)}:{node.lineno}")
+    assert not offenders, "bare assert in library code:\n" + "\n".join(offenders)
