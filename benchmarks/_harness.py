@@ -7,15 +7,39 @@ the resulting rows/series are printed in the paper's layout — run with
 ``-s`` to see them. Shape assertions (who wins, monotonicity, crossovers)
 are checked on the produced numbers, mirroring DESIGN.md's acceptance
 criteria.
+
+Setting ``REPRO_TRACE_DIR=<dir>`` additionally records one JSON-lines
+trace per benchmark alongside the timings (view with
+``repro trace report <dir>/<bench>.jsonl``).
 """
+
+import os
+import re
 
 import numpy as np
 
+from repro.observability import trace_to
 
 
 def run_once(benchmark, fn):
-    """Execute ``fn`` exactly once under the benchmark timer and return its result."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    """Execute ``fn`` exactly once under the benchmark timer and return its result.
+
+    When ``REPRO_TRACE_DIR`` is set, the run is traced into
+    ``$REPRO_TRACE_DIR/<benchmark name>.jsonl``.
+    """
+    trace_dir = os.environ.get("REPRO_TRACE_DIR")
+    if not trace_dir:
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+    os.makedirs(trace_dir, exist_ok=True)
+    name = re.sub(r"[^\w.=-]+", "_", getattr(benchmark, "name", "") or fn.__name__)
+    path = os.path.join(trace_dir, f"{name}.jsonl")
+
+    def traced():
+        with trace_to(path) as tracer:
+            tracer.meta(benchmark=name)
+            return fn()
+
+    return benchmark.pedantic(traced, rounds=1, iterations=1)
 
 
 def print_table(title: str, header: list[str], rows: list[list]):

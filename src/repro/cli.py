@@ -8,6 +8,8 @@ Three subcommands cover the common workflows:
   wikipedia) as CSV for experimentation.
 * ``repro analyze`` — print the paper's analytic curves (Figure 1 / 2
   models) for a chosen dataset size.
+* ``repro trace report`` — render a recorded JSON-lines trace as the
+  per-stage timing breakdown of Section 5.6 plus the fault ledger.
 
 Installed as ``python -m repro.cli ...`` (no console-script entry point is
 registered so that offline ``setup.py develop`` installs stay simple).
@@ -27,6 +29,10 @@ __all__ = ["main", "build_parser"]
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument grammar (exposed for testing)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--log-level", default="WARNING",
+        help="threshold for the repro logger tree (default: WARNING)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_cluster = sub.add_parser("cluster", help="cluster a CSV of feature rows")
@@ -43,6 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="0-based column holding ground-truth labels (excluded from features)",
     )
     p_cluster.add_argument("-o", "--output", default="-", help="output CSV ('-': stdout)")
+    p_cluster.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a JSON-lines trace of the run (view with 'repro trace report')",
+    )
 
     p_gen = sub.add_parser("generate", help="emit a synthetic dataset as CSV")
     p_gen.add_argument("kind", choices=("blobs", "uniform", "wikipedia"))
@@ -56,6 +66,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("model", choices=("complexity", "collision"))
     p_an.add_argument("-n", "--n-samples", type=float, default=2**20)
     p_an.add_argument("-m", "--n-bits", type=int, default=15)
+
+    p_trace = sub.add_parser("trace", help="inspect recorded traces")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_report = trace_sub.add_parser(
+        "report", help="render a trace file as a per-stage timing breakdown"
+    )
+    p_report.add_argument("trace_file", help="JSON-lines trace path, or '-' for stdin")
+    p_report.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="only show the N stages with the largest self time",
+    )
     return parser
 
 
@@ -87,8 +108,11 @@ def _write_rows(path: str, rows) -> None:
 
 
 def _cmd_cluster(args) -> int:
+    import contextlib
+
     from repro import DASC, PSC, NystromSpectralClustering, SpectralClustering
     from repro.metrics import clustering_accuracy
+    from repro.observability import trace_to
 
     X, y = _read_matrix(args.input, args.label_column)
     sigma = args.sigma
@@ -100,10 +124,19 @@ def _cmd_cluster(args) -> int:
         algo = PSC(args.n_clusters, sigma=sigma or 1.0, seed=args.seed)
     else:
         algo = NystromSpectralClustering(args.n_clusters, sigma=sigma or 1.0, seed=args.seed)
-    labels = algo.fit_predict(X)
+    scope = trace_to(args.trace) if args.trace else contextlib.nullcontext()
+    with scope as tracer:
+        if tracer is not None:
+            tracer.meta(
+                command="cluster", algorithm=args.algorithm,
+                n_points=int(X.shape[0]), n_clusters=args.n_clusters,
+            )
+        labels = algo.fit_predict(X)
     _write_rows(args.output, [[int(l)] for l in labels])
     if y is not None:
         print(f"accuracy: {clustering_accuracy(y, labels):.4f}", file=sys.stderr)
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -137,24 +170,43 @@ def _cmd_analyze(args) -> int:
         )
 
         n = args.n_samples
-        print(f"N = {n:.0f}")
-        print(f"DASC time : {dasc_time_seconds(n) / 3600:.3f} h   memory: {dasc_memory_bytes(n) / 2**20:.1f} MiB")
-        print(f"SC time   : {sc_time_seconds(n) / 3600:.3f} h   memory: {sc_memory_bytes(n) / 2**20:.1f} MiB")
+        print(f"N = {n:.0f}", file=sys.stdout)
+        print(f"DASC time : {dasc_time_seconds(n) / 3600:.3f} h   memory: {dasc_memory_bytes(n) / 2**20:.1f} MiB", file=sys.stdout)
+        print(f"SC time   : {sc_time_seconds(n) / 3600:.3f} h   memory: {sc_memory_bytes(n) / 2**20:.1f} MiB", file=sys.stdout)
     else:
         from repro.analysis import wikipedia_collision_probability
 
         p = wikipedia_collision_probability(args.n_samples, args.n_bits)
-        print(f"N = {args.n_samples:.0f}, M = {args.n_bits}: collision probability = {p:.4f}")
+        print(f"N = {args.n_samples:.0f}, M = {args.n_bits}: collision probability = {p:.4f}", file=sys.stdout)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.observability import read_trace, render_trace_report
+
+    if args.trace_file == "-":
+        records = read_trace(sys.stdin)
+    else:
+        records = read_trace(args.trace_file)
+    if not records:
+        print("error: trace file contains no records", file=sys.stderr)
+        return 1
+    print(render_trace_report(records, top=args.top), file=sys.stdout)
     return 0
 
 
 def main(argv=None) -> int:
     """Entry point; returns the process exit code."""
+    from repro.observability import configure_logging
+
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
     if args.command == "cluster":
         return _cmd_cluster(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_analyze(args)
 
 

@@ -28,6 +28,7 @@ from repro.core.refine import merge_clusters_to_k
 from repro.core.signatures import compute_signatures
 from repro.kernels.bandwidth import mean_knn_heuristic, median_heuristic
 from repro.kernels.functions import GaussianKernel, Kernel
+from repro.observability import get_tracer
 from repro.spectral.embedding import spectral_embedding
 from repro.spectral.kmeans import KMeans
 from repro.utils.memory import MemoryLedger
@@ -115,28 +116,46 @@ class DASC:
     def partition(self, X) -> Buckets:
         """Stages 1-2: hash, group, merge, fold. Returns the final buckets."""
         X = check_2d(X)
-        with self.stopwatch_.lap("hash"):
+        tracer = get_tracer()
+        with self.stopwatch_.lap("hash"), tracer.span("dasc.hash") as span:
             signatures, n_bits, hasher = compute_signatures(X, self.config)
+            span.set("n_points", X.shape[0])
+            span.set("n_bits", n_bits)
         self.signatures_ = signatures
         self.n_bits_ = n_bits
         self.hasher_ = hasher
-        with self.stopwatch_.lap("bucket"):
+        with self.stopwatch_.lap("bucket"), tracer.span("dasc.bucket") as span:
             buckets = group_by_signature(signatures, n_bits)
+            span.set("n_raw_buckets", buckets.n_buckets)
             p = self.config.resolve_min_shared_bits(n_bits)
             buckets = merge_buckets(buckets, p, strategy=self.config.merge_strategy)
             buckets = fold_small_buckets(buckets, self.config.min_bucket_size)
+            span.set("n_buckets", buckets.n_buckets)
+        if tracer.enabled:
+            hist = tracer.metrics.histogram("dasc.bucket_size")
+            for size in buckets.sizes:
+                hist.observe(int(size))
         self.buckets_ = buckets
         return buckets
 
     def transform(self, X) -> ApproximateKernel:
         """Stages 1-3: the approximate kernel matrix (algorithm-independent API)."""
         X = check_2d(X)
+        tracer = get_tracer()
         buckets = self.partition(X)
         kernel = self._resolve_kernel(X)
-        with self.stopwatch_.lap("kernel"):
+        with self.stopwatch_.lap("kernel"), tracer.span("dasc.kernel") as span:
             approx = build_approximate_kernel(
                 X, buckets, kernel, zero_diagonal=self.config.zero_diagonal
             )
+            span.set("n_blocks", approx.n_blocks)
+            span.set("gram_bytes", approx.nbytes)
+        if tracer.enabled:
+            tracer.metrics.gauge("dasc.sigma").set(self.sigma_)
+            tracer.metrics.gauge("dasc.gram_bytes").set(approx.nbytes)
+            hist = tracer.metrics.histogram("dasc.kernel_block_bytes")
+            for block in approx.blocks:
+                hist.observe(block.shape[0] * block.shape[0] * 4)
         self.memory_.charge("gram_blocks", approx.nbytes)
         self.approx_kernel_ = approx
         return approx
@@ -144,6 +163,12 @@ class DASC:
     def fit(self, X) -> "DASC":
         """Run the full DASC pipeline and populate ``labels_``."""
         X = check_2d(X)
+        tracer = get_tracer()
+        with tracer.span("dasc.fit", n_points=X.shape[0]) as fit_span:
+            self._fit_traced(X, tracer, fit_span)
+        return self
+
+    def _fit_traced(self, X, tracer, fit_span) -> None:
         n = X.shape[0]
         k_total = self.config.resolve_n_clusters(n)
         approx = self.transform(X)
@@ -174,11 +199,13 @@ class DASC:
         labels = np.full(n, -1, dtype=np.int64)
         seed_rng = as_rng(self.config.seed)
         offset = 0
-        with self.stopwatch_.lap("spectral"):
+        with self.stopwatch_.lap("spectral"), tracer.span("dasc.spectral") as span:
             for b, (idx, block) in enumerate(zip(approx.bucket_indices, approx.blocks)):
                 k_i = int(allocation[b])
                 labels[idx] = offset + self._cluster_block(block, k_i, seed_rng)
                 offset += k_i
+            span.set("n_blocks", approx.n_blocks)
+            span.set("n_local_clusters", offset)
         if (labels < 0).any():
             raise RuntimeError(
                 f"{int((labels < 0).sum())} points were never assigned a bucket cluster"
@@ -186,12 +213,15 @@ class DASC:
         if self.config.refine_to_k and offset > k_total:
             # Stitch cross-bucket fragments: merge the per-bucket cluster
             # union down to the requested K (extension beyond the paper).
-            with self.stopwatch_.lap("refine"):
+            with self.stopwatch_.lap("refine"), tracer.span("dasc.refine") as span:
                 labels = merge_clusters_to_k(X, labels, k_total)
+                span.set("merged_from", offset)
+                span.set("merged_to", k_total)
             offset = k_total
+        fit_span.set("n_clusters", offset)
+        fit_span.set("n_buckets", buckets.n_buckets)
         self.labels_ = labels
         self.n_clusters_ = offset
-        return self
 
     def fit_predict(self, X) -> np.ndarray:
         """Fit and return the global labels."""

@@ -27,6 +27,7 @@ from repro.core.signatures import make_hasher
 from repro.kernels.bandwidth import median_heuristic
 from repro.kernels.functions import GaussianKernel
 from repro.kernels.matrix import gram_matrix
+from repro.observability import get_tracer
 from repro.spectral.embedding import spectral_embedding
 from repro.spectral.kmeans import KMeans
 from repro.utils.rng import as_rng
@@ -77,14 +78,17 @@ class StreamingDASC:
         absorbed (pass it to :meth:`partial_fit` too if it is stream data).
         """
         sample = check_2d(sample)
-        n_bits = self.config.resolve_n_bits(sample.shape[0])
-        self._hasher = make_hasher(self.config, n_bits)
-        self._hasher.fit(sample)
-        self._n_bits = n_bits
-        sigma = self.config.sigma
-        if sigma is None:
-            sigma = median_heuristic(sample, seed=self.config.seed)
-        self._sigma = float(sigma)
+        with get_tracer().span("streaming.calibrate", n_sample=sample.shape[0]) as span:
+            n_bits = self.config.resolve_n_bits(sample.shape[0])
+            self._hasher = make_hasher(self.config, n_bits)
+            self._hasher.fit(sample)
+            self._n_bits = n_bits
+            sigma = self.config.sigma
+            if sigma is None:
+                sigma = median_heuristic(sample, seed=self.config.seed)
+            self._sigma = float(sigma)
+            span.set("n_bits", n_bits)
+            span.set("sigma", self._sigma)
         return self
 
     def partial_fit(self, chunk) -> "StreamingDASC":
@@ -92,12 +96,15 @@ class StreamingDASC:
         if self._hasher is None:
             raise RuntimeError("call calibrate() before partial_fit()")
         chunk = check_2d(chunk)
-        signatures = self._hasher.hash(chunk)
-        for row, sig in zip(chunk, signatures):
-            key = int(sig)
-            self._bucket_points[key].append(row)
-            self._bucket_order[key].append(self._n_seen)
-            self._n_seen += 1
+        with get_tracer().span("streaming.absorb_chunk", n_points=chunk.shape[0]) as span:
+            signatures = self._hasher.hash(chunk)
+            for row, sig in zip(chunk, signatures):
+                key = int(sig)
+                self._bucket_points[key].append(row)
+                self._bucket_order[key].append(self._n_seen)
+                self._n_seen += 1
+            span.set("n_absorbed", self._n_seen)
+            span.set("n_buckets", len(self._bucket_points))
         return self
 
     @property
@@ -132,6 +139,20 @@ class StreamingDASC:
         """
         if self._n_seen == 0:
             raise RuntimeError("no data absorbed; call partial_fit() first")
+        tracer = get_tracer()
+        with tracer.span(
+            "streaming.finalize", n_absorbed=self._n_seen, n_buckets=len(self._bucket_points)
+        ) as span:
+            if tracer.enabled:
+                hist = tracer.metrics.histogram("streaming.bucket_size")
+                for pts in self._bucket_points.values():
+                    hist.observe(len(pts))
+                tracer.metrics.gauge("streaming.peak_block_bytes").set(self.peak_block_bytes())
+            labels = self._finalize_impl()
+            span.set("n_clusters", self.n_clusters_)
+        return labels
+
+    def _finalize_impl(self) -> np.ndarray:
         k_total = self.config.resolve_n_clusters(self._n_seen)
         kernel = GaussianKernel(self._sigma)
         seed_rng = as_rng(self.config.seed)

@@ -23,10 +23,13 @@ from repro.kernels.bandwidth import median_heuristic
 from repro.kernels.functions import GaussianKernel
 from repro.kernels.matrix import gram_matrix
 from repro.metrics.fnorm import fnorm_ratio
+from repro.observability import get_logger
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_2d, check_probability
 
 __all__ = ["ProfileEntry", "approximation_profile", "choose_n_bits"]
+
+log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -56,8 +59,10 @@ def approximation_profile(
 
     X = check_2d(X)
     rng = as_rng(seed)
+    n_original = X.shape[0]
     if X.shape[0] > max_samples:
         X = X[rng.choice(X.shape[0], size=max_samples, replace=False)]
+        log.debug("profiling on %d of %d points", X.shape[0], n_original)
     base = config if config is not None else DASCConfig()
     sigma = base.sigma if base.sigma is not None else median_heuristic(X, seed=seed)
     full = gram_matrix(X, GaussianKernel(sigma), zero_diagonal=base.zero_diagonal)
@@ -80,14 +85,17 @@ def approximation_profile(
             )
         )
         approx = dasc.transform(X)
-        profile.append(
-            ProfileEntry(
-                n_bits=int(n_bits),
-                n_buckets=approx.n_blocks,
-                kept_fraction=approx.stored_entries / X.shape[0] ** 2,
-                fnorm_ratio=fnorm_ratio(approx, full),
-            )
+        entry = ProfileEntry(
+            n_bits=int(n_bits),
+            n_buckets=approx.n_blocks,
+            kept_fraction=approx.stored_entries / X.shape[0] ** 2,
+            fnorm_ratio=fnorm_ratio(approx, full),
         )
+        log.debug(
+            "M=%d: %d buckets, kept %.3f of kernel, fnorm ratio %.3f",
+            entry.n_bits, entry.n_buckets, entry.kept_fraction, entry.fnorm_ratio,
+        )
+        profile.append(entry)
     return profile
 
 
@@ -112,5 +120,12 @@ def choose_n_bits(
     )
     feasible = [e for e in profile if e.fnorm_ratio >= target_fnorm_ratio]
     if not feasible:
-        return min(e.n_bits for e in profile)
-    return max(e.n_bits for e in feasible)
+        chosen = min(e.n_bits for e in profile)
+        log.warning(
+            "no candidate M reaches fnorm ratio %.3f; falling back to M=%d",
+            target_fnorm_ratio, chosen,
+        )
+        return chosen
+    chosen = max(e.n_bits for e in feasible)
+    log.info("chose M=%d (target fnorm ratio %.3f)", chosen, target_fnorm_ratio)
+    return chosen

@@ -38,6 +38,7 @@ from repro.dasc_mr.stage2 import make_clustering_job, make_similarity_job
 from repro.kernels.bandwidth import median_heuristic
 from repro.lsh.axis import AxisParallelHasher
 from repro.mapreduce.emr import ElasticMapReduce
+from repro.observability import get_tracer
 from repro.utils.memory import block_diagonal_bytes
 from repro.utils.validation import check_2d
 
@@ -161,6 +162,11 @@ class DistributedDASC:
         Returns the flow id; pair with :meth:`collect` after
         ``emr.run_job_flow`` (or :meth:`resume` after a crash).
         """
+        with get_tracer().span("driver.submit") as span:
+            flow_id = self._submit(X, span)
+        return flow_id
+
+    def _submit(self, X, span) -> str:
         X = check_2d(X)
         n = X.shape[0]
         k_total = self.config.resolve_n_clusters(n)
@@ -199,6 +205,12 @@ class DistributedDASC:
         state: dict = {}
         flow.add_action("merge-buckets", self._merge_action(state, sigma, n_bits, k_total))
 
+        span.set("flow_id", flow_id)
+        span.set("n_points", n)
+        span.set("n_bits", n_bits)
+        span.set("sigma", sigma)
+        span.set("n_nodes", self.n_nodes)
+        span.set("spectral_mode", self.spectral_mode)
         self._pending[flow_id] = {"flow": flow, "state": state, "n": n, "sigma": sigma}
         return flow_id
 
@@ -208,13 +220,26 @@ class DistributedDASC:
         Completed MapReduce steps are restored from their S3 checkpoints
         (the LSH pass is not redone after a crash between stages); driver
         actions replay deterministically, so the labels are identical to an
-        uninterrupted run.
+        uninterrupted run. With tracing on, the resume's spans continue the
+        same trace (append the sink) so one file holds the whole lifecycle.
         """
-        self.emr.resume_job_flow(flow_id)
+        with get_tracer().span("driver.resume", flow_id=flow_id) as span:
+            results = self.emr.resume_job_flow(flow_id)
+            span.set("n_steps", len(results))
         return self.collect(flow_id)
 
     def collect(self, flow_id: str) -> DistributedResult:
         """Gather labels + statistics from an executed flow and terminate it."""
+        with get_tracer().span("driver.collect", flow_id=flow_id) as span:
+            result = self._collect(flow_id)
+            span.set("n_clusters", result.n_clusters)
+            span.set("n_buckets", result.n_buckets)
+            span.set("makespan", result.makespan)
+            span.set("n_repaired", result.n_repaired)
+            span.set("resumed_steps", list(result.resumed_steps))
+        return result
+
+    def _collect(self, flow_id: str) -> DistributedResult:
         try:
             pending = self._pending.pop(flow_id)
         except KeyError:
@@ -326,6 +351,9 @@ class DistributedDASC:
         for i in unlabelled:
             d2 = np.sum((X[labelled] - X[i]) ** 2, axis=1)
             labels[i] = labels[labelled[int(np.argmin(d2))]]
+        get_tracer().event(
+            "fault.label_repair", flow_id=flow_id, n_repaired=int(unlabelled.size)
+        )
         return labels, int(unlabelled.size)
 
     def _mahout_spectral_action(self, state: dict):

@@ -10,20 +10,22 @@ from __future__ import annotations
 import sys
 
 from repro.experiments import EXPERIMENTS, run_experiment
+from repro.observability import configure_logging
 
 
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     if not args:
-        print("usage: python -m repro.experiments <id ...|all>")
-        print("available:", " ".join(sorted(EXPERIMENTS)))
+        print("usage: python -m repro.experiments <id ...|all>", file=sys.stdout)
+        print("available:", " ".join(sorted(EXPERIMENTS)), file=sys.stdout)
         return 0
+    configure_logging()
     ids = sorted(EXPERIMENTS) if args == ["all"] else args
     try:
         for experiment_id in ids:
             result = run_experiment(experiment_id)
-            print(result.render())
-            print()
+            print(result.render(), file=sys.stdout)
+            print(file=sys.stdout)
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; not an error.
         return 0

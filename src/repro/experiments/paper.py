@@ -13,6 +13,9 @@ import time
 import numpy as np
 
 from repro.experiments.base import ExperimentResult
+from repro.observability import get_logger
+
+log = get_logger(__name__)
 
 __all__ = [
     "figure1",
@@ -110,6 +113,7 @@ def figure3(sizes=(2**9, 2**10, 2**11, 2**12), sc_max=2**11, *, seed=0) -> Exper
     results = {"DASC": {}, "SC": {}, "PSC": {}, "NYST": {}}
     for n in sizes:
         k = max(2, round(17 * (np.log2(n) - 9))) if n > 512 else 8
+        log.info("figure3: clustering N=%d documents into K=%d categories", n, k)
         X, y = make_wikipedia_dataset(n, n_categories=k, seed=seed)
         sigma = 0.5
         results["DASC"][n] = clustering_accuracy(
@@ -277,6 +281,7 @@ def table3(nodes=(16, 32, 64), *, n_documents=16384, seed=5) -> ExperimentResult
     k = len(np.unique(y))
     results = {}
     for n_nodes in nodes:
+        log.info("table3: running distributed DASC on %d simulated nodes", n_nodes)
         cfg = DASCConfig(n_bits=24, dimension_policy="top_span", min_bucket_size=4, seed=seed)
         res = DistributedDASC(k, n_nodes=n_nodes, config=cfg, split_size=64).run(X)
         results[n_nodes] = {
@@ -320,4 +325,8 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
         raise ValueError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return fn()
+    log.info("running experiment %s", experiment_id)
+    start = time.perf_counter()
+    result = fn()
+    log.info("experiment %s finished in %.2fs", experiment_id, time.perf_counter() - start)
+    return result

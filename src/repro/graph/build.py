@@ -7,9 +7,12 @@ import scipy.sparse as sp
 
 from repro.kernels.functions import GaussianKernel, Kernel
 from repro.kernels.matrix import pairwise_sq_distances
+from repro.observability import get_logger
 from repro.utils.validation import check_2d
 
 __all__ = ["knn_graph", "epsilon_graph"]
+
+log = get_logger(__name__)
 
 
 def knn_graph(
@@ -56,7 +59,11 @@ def knn_graph(
     S = sp.csr_matrix(
         (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))), shape=(n, n)
     )
-    return (S.maximum(S.T) if symmetrize == "max" else S.minimum(S.T)).tocsr()
+    G = (S.maximum(S.T) if symmetrize == "max" else S.minimum(S.T)).tocsr()
+    log.debug(
+        "knn_graph: n=%d t=%d symmetrize=%s -> %d edges", n, t, symmetrize, G.nnz
+    )
+    return G
 
 
 def epsilon_graph(
@@ -71,4 +78,6 @@ def epsilon_graph(
     mask = d2 <= epsilon**2
     np.fill_diagonal(mask, False)
     K = kern(X)
-    return sp.csr_matrix(np.where(mask, K, 0.0))
+    G = sp.csr_matrix(np.where(mask, K, 0.0))
+    log.debug("epsilon_graph: n=%d epsilon=%g -> %d edges", X.shape[0], epsilon, G.nnz)
+    return G

@@ -14,6 +14,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from repro.observability import get_tracer
+
 __all__ = [
     "NodeConfig",
     "EMR_NODE_CONFIG",
@@ -160,6 +162,39 @@ class SimulatedCluster:
         """Total concurrent reduce tasks the cluster sustains."""
         return self.n_nodes * self.node.reduce_slots
 
+    def _emit_phase_event(self, phase: str, stats: "TaskStats") -> None:
+        """Attribute the phase's simulated makespan per node in the trace.
+
+        One ``cluster.phase`` event per scheduled phase with the per-node
+        cost vector (slot loads folded by owning node) — the raw material
+        for the Table-3 makespan attribution in ``trace report``.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        per_node = [0.0] * self.n_nodes
+        if stats.per_slot_cost:
+            slots_per_node = max(1, len(stats.per_slot_cost) // self.n_nodes)
+            for slot, cost in enumerate(stats.per_slot_cost):
+                per_node[min(slot // slots_per_node, self.n_nodes - 1)] += cost
+        tracer.event(
+            "cluster.phase",
+            phase=phase,
+            n_nodes=self.n_nodes,
+            n_tasks=stats.n_tasks,
+            makespan=stats.makespan,
+            total_cost=stats.total_cost,
+            utilization=stats.utilization,
+            locality_rate=stats.locality_rate,
+            per_node_cost=[round(c, 9) for c in per_node],
+            n_node_failures=stats.n_node_failures,
+            n_tasks_lost=stats.n_tasks_lost,
+            n_map_outputs_lost=stats.n_map_outputs_lost,
+            speculative_launched=stats.speculative_launched,
+            speculative_won=stats.speculative_won,
+            wasted_cost=stats.wasted_cost,
+        )
+
     def schedule(self, costs, *, phase: str = "map") -> TaskStats:
         """LPT-schedule tasks of the given ``costs`` onto the phase's slots.
 
@@ -183,13 +218,15 @@ class SimulatedCluster:
                 load += cost
                 loads[slot] = load
                 heapq.heappush(heap, (load, slot))
-        return TaskStats(
+        stats = TaskStats(
             n_tasks=len(costs),
             total_cost=sum(costs),
             makespan=max(loads) if loads else 0.0,
             per_slot_cost=loads,
             n_local_tasks=len(costs),  # no placement info: all count as local
         )
+        self._emit_phase_event(phase, stats)
+        return stats
 
     def schedule_with_locality(
         self,
@@ -247,13 +284,15 @@ class SimulatedCluster:
                 total_cost += remote_cost
                 if not preferred:
                     n_local += 1  # no placement constraint: counts as local
-        return TaskStats(
+        stats = TaskStats(
             n_tasks=len(parsed),
             total_cost=total_cost,
             makespan=max(loads) if loads else 0.0,
             per_slot_cost=loads,
             n_local_tasks=n_local,
         )
+        self._emit_phase_event(phase, stats)
+        return stats
 
     # -- fault-aware phase simulation ---------------------------------------
 
@@ -301,6 +340,7 @@ class SimulatedCluster:
                 )
             )
         n_tasks = len(parsed)
+        tracer = get_tracer()
         stats = TaskStats(n_tasks=n_tasks, total_cost=0.0, makespan=0.0)
         free = [0.0] * n_slots
         slot_charge = [0.0] * n_slots
@@ -388,6 +428,12 @@ class SimulatedCluster:
                     a.end = b_end
                     free[a.slot] = b_end
                     completion[i] = b_end
+                    if tracer.enabled:
+                        tracer.event(
+                            "fault.speculation",
+                            phase=phase, task=i, won=True,
+                            slowdown=task.slowdown, wasted_cost=burned,
+                        )
                 else:
                     # Backup loses; it is killed when the original finishes.
                     burned = a.end - b_start
@@ -397,6 +443,12 @@ class SimulatedCluster:
                     stats.wasted_cost += burned
                     free[backup_slot] = a.end
                     attempts.append(b)
+                    if tracer.enabled:
+                        tracer.event(
+                            "fault.speculation",
+                            phase=phase, task=i, won=False,
+                            slowdown=task.slowdown, wasted_cost=burned,
+                        )
 
         # -- pass 2: node preemption, time-ordered --------------------------
         dead: set[int] = set()
@@ -415,6 +467,9 @@ class SimulatedCluster:
             t_kill = frac * base_span
             dead.add(node)
             stats.n_node_failures += 1
+            wasted_before = stats.wasted_cost
+            tasks_lost_before = stats.n_tasks_lost
+            outputs_lost_before = stats.n_map_outputs_lost
             lost: list[int] = []
             for a in attempts:
                 if node_of(a.slot) != node:
@@ -453,9 +508,20 @@ class SimulatedCluster:
                 free[slot] = a.end
                 attempts.append(a)
                 completion[i] = a.end
+            if tracer.enabled:
+                tracer.event(
+                    "fault.node_failure",
+                    phase=phase,
+                    node=node,
+                    kill_time=t_kill,
+                    tasks_lost=stats.n_tasks_lost - tasks_lost_before,
+                    map_outputs_lost=stats.n_map_outputs_lost - outputs_lost_before,
+                    wasted_cost=stats.wasted_cost - wasted_before,
+                )
 
         stats.total_cost = sum(slot_charge)
         stats.makespan = max(completion) if n_tasks else 0.0
         stats.per_slot_cost = slot_charge
         stats.n_local_tasks = n_local
+        self._emit_phase_event(phase, stats)
         return stats

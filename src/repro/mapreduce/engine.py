@@ -19,6 +19,7 @@ from repro.mapreduce.cluster import SimulatedCluster, TaskStats
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.hdfs import FileSplit
 from repro.mapreduce.types import JobSpec, MapTaskResult
+from repro.observability import get_tracer
 
 __all__ = ["TaskContext", "JobResult", "MapReduceEngine", "stable_hash"]
 
@@ -98,6 +99,14 @@ class MapReduceEngine:
         ``splits`` may be HDFS :class:`FileSplit` objects or plain lists of
         ``(key, value)`` tuples (each list = one map task).
         """
+        tracer = get_tracer()
+        with tracer.span("mr.job", job=job.name, n_splits=len(splits)) as job_span:
+            result = self._run_job(job, splits, tracer)
+            job_span.set("makespan", result.makespan)
+            job_span.set("n_output_records", len(result.output))
+        return result
+
+    def _run_job(self, job: JobSpec, splits, tracer) -> JobResult:
         counters = Counters()
         map_results = []
         placements = []
@@ -110,13 +119,22 @@ class MapReduceEngine:
                     records = split
                     placements.append(())
                 ctx = TaskContext(job=job, counters=counters, task_id=f"map-{i}")
-                map_results.append(self._run_map_task(job, records, ctx))
+                with tracer.span("mr.map_task", task=ctx.task_id) as task_span:
+                    before = counters.copy() if tracer.enabled else None
+                    result = self._run_map_task(job, records, ctx)
+                    if tracer.enabled:
+                        task_span.set("cost", result.cost)
+                        task_span.set("n_input_records", result.n_input_records)
+                        task_span.set("n_output_records", len(result.records))
+                        task_span.set("counters", counters.diff(before).as_dict())
+                map_results.append(result)
         except Exception as exc:
             # Let structured error handling upstream (JobFlowError) report
             # the partial counter state of the failed job.
             exc.counters = counters
             raise
-        map_stats = self._schedule_map_phase(map_results, placements, counters)
+        with tracer.span("mr.schedule", phase="map"):
+            map_stats = self._schedule_map_phase(map_results, placements, counters)
         counters.increment("job", "map_tasks", len(map_results))
 
         if job.reducer is None:
@@ -129,21 +147,32 @@ class MapReduceEngine:
                 reduce_stats=TaskStats(n_tasks=0, total_cost=0.0, makespan=0.0),
             )
 
-        partitions = self._shuffle(job, map_results, counters)
+        with tracer.span("mr.shuffle") as shuffle_span:
+            partitions = self._shuffle(job, map_results, counters)
+            shuffle_span.set("n_partitions", len(partitions))
+            shuffle_span.set("n_records", counters.value("shuffle", "records"))
         output: list[tuple] = []
         reduce_costs = []
         partition_outputs: dict[int, list[tuple]] = {}
         try:
             for p in sorted(partitions):
                 ctx = TaskContext(job=job, counters=counters, task_id=f"reduce-{p}")
-                part_out, cost = self._run_reduce_task(job, partitions[p], ctx)
+                with tracer.span("mr.reduce_task", task=ctx.task_id) as task_span:
+                    before = counters.copy() if tracer.enabled else None
+                    part_out, cost = self._run_reduce_task(job, partitions[p], ctx)
+                    if tracer.enabled:
+                        task_span.set("cost", cost)
+                        task_span.set("n_input_records", len(partitions[p]))
+                        task_span.set("n_output_records", len(part_out))
+                        task_span.set("counters", counters.diff(before).as_dict())
                 partition_outputs[p] = part_out
                 output.extend(part_out)
                 reduce_costs.append(cost)
         except Exception as exc:
             exc.counters = counters
             raise
-        reduce_stats = self._schedule_reduce_phase(reduce_costs, counters)
+        with tracer.span("mr.schedule", phase="reduce"):
+            reduce_stats = self._schedule_reduce_phase(reduce_costs, counters)
         counters.increment("job", "reduce_tasks", len(reduce_costs))
         return JobResult(
             job_name=job.name,

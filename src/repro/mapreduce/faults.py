@@ -31,6 +31,7 @@ from repro.mapreduce.cluster import PhaseTask, SimulatedCluster, SpeculationConf
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.engine import MapReduceEngine, MapTaskResult, TaskContext
 from repro.mapreduce.types import JobSpec
+from repro.observability import get_tracer
 from repro.utils.rng import as_rng
 
 __all__ = [
@@ -228,6 +229,7 @@ class FaultyEngine(MapReduceEngine):
     # -- task attempts -------------------------------------------------------
 
     def _run_map_task(self, job: JobSpec, records, ctx: TaskContext) -> MapTaskResult:
+        tracer = get_tracer()
         wasted_cost = 0.0
         for attempt in range(1, self.policy.max_attempts + 1):
             # Attempts run against scratch counters so retries cannot inflate
@@ -244,11 +246,21 @@ class FaultyEngine(MapReduceEngine):
             # Attempt failed after doing the work: discard output, retry.
             wasted_cost += result.cost
             ctx.counters.increment("faults", "map_failures")
+            if tracer.enabled:
+                tracer.event(
+                    "fault.map_retry",
+                    task=ctx.task_id, attempt=attempt, wasted_cost=result.cost,
+                )
+        tracer.event(
+            "fault.task_exhausted",
+            task=ctx.task_id, attempts=self.policy.max_attempts, wasted_cost=wasted_cost,
+        )
         raise TaskFailedError(
             f"map task {ctx.task_id} failed {self.policy.max_attempts} attempts"
         )
 
     def _run_reduce_task(self, job: JobSpec, records, ctx: TaskContext):
+        tracer = get_tracer()
         wasted_cost = 0.0
         for attempt in range(1, self.policy.max_attempts + 1):
             trial = TaskContext(job=job, counters=Counters(), task_id=ctx.task_id)
@@ -260,6 +272,15 @@ class FaultyEngine(MapReduceEngine):
                 return out, cost + wasted_cost
             wasted_cost += cost
             ctx.counters.increment("faults", "reduce_failures")
+            if tracer.enabled:
+                tracer.event(
+                    "fault.reduce_retry",
+                    task=ctx.task_id, attempt=attempt, wasted_cost=cost,
+                )
+        tracer.event(
+            "fault.task_exhausted",
+            task=ctx.task_id, attempts=self.policy.max_attempts, wasted_cost=wasted_cost,
+        )
         raise TaskFailedError(
             f"reduce task {ctx.task_id} failed {self.policy.max_attempts} attempts"
         )

@@ -24,6 +24,7 @@ from repro.mapreduce.counters import Counters
 from repro.mapreduce.engine import JobResult, MapReduceEngine
 from repro.mapreduce.hdfs import SimulatedHDFS
 from repro.mapreduce.types import JobSpec
+from repro.observability import get_tracer
 
 __all__ = ["Job", "JobFlowStep", "JobFlow", "JobFlowError"]
 
@@ -135,20 +136,27 @@ class JobFlow:
             Stop after this many steps, leaving the flow incomplete — the
             hook chaos tests use to simulate a driver crash mid-flow.
         """
+        tracer = get_tracer()
         self.results = []
         self.restored_steps = []
         executed = 0
         i = 0
-        while i < len(self.steps):
-            if max_steps is not None and executed >= max_steps:
-                break
-            step = self.steps[i]
-            if step.job is not None:
-                self.results.append(self._run_job_step(step, i, resume))
-            else:
-                self.results.append(step.action(self))
-            executed += 1
-            i += 1
+        with tracer.span("jobflow.run", resume=resume) as flow_span:
+            while i < len(self.steps):
+                if max_steps is not None and executed >= max_steps:
+                    break
+                step = self.steps[i]
+                if step.job is not None:
+                    self.results.append(self._run_job_step(step, i, resume))
+                else:
+                    with tracer.span("jobflow.action", step=step.name, index=i):
+                        self.results.append(step.action(self))
+                executed += 1
+                i += 1
+            flow_span.set("n_steps", len(self.steps))
+            flow_span.set("executed", executed)
+            flow_span.set("restored", list(self.restored_steps))
+            flow_span.set("makespan", self.makespan)
         return self.results
 
     @property
@@ -162,33 +170,45 @@ class JobFlow:
         return f"{self.checkpoint_prefix}/step-{index:03d}"
 
     def _run_job_step(self, step: JobFlowStep, index: int, resume: bool) -> JobResult:
+        tracer = get_tracer()
         key = self._checkpoint_key(index)
-        if resume and self.checkpoint_store is not None and self.checkpoint_store.exists(key):
-            result = self._restore(step, self.checkpoint_store.get(key))
-            self.restored_steps.append(index)
-            return result
-        try:
-            # On resume the output may already exist from the crashed run;
-            # Hadoop semantics are delete-then-rerun.
-            result = step.job.run(self.engine, self.fs, overwrite=resume)
-        except Exception as exc:
-            raise JobFlowError(
-                f"job flow step {index} ({step.name!r}) failed: {exc}",
-                step_name=step.name,
-                step_index=index,
-                counters=getattr(exc, "counters", None),
-            ) from exc
-        if self.checkpoint_store is not None:
-            self.checkpoint_store.put(
-                key,
-                {
-                    "step_name": step.name,
-                    "output": list(result.output),
-                    "counters": result.counters.as_dict(),
-                    "map_stats": result.map_stats,
-                    "reduce_stats": result.reduce_stats,
-                },
-            )
+        with tracer.span("jobflow.step", step=step.name, index=index) as step_span:
+            if resume and self.checkpoint_store is not None and self.checkpoint_store.exists(key):
+                result = self._restore(step, self.checkpoint_store.get(key))
+                self.restored_steps.append(index)
+                step_span.set("from_checkpoint", True)
+                tracer.event(
+                    "jobflow.restore",
+                    step=step.name, index=index, key=key, n_records=len(result.output),
+                )
+                return result
+            try:
+                # On resume the output may already exist from the crashed run;
+                # Hadoop semantics are delete-then-rerun.
+                result = step.job.run(self.engine, self.fs, overwrite=resume)
+            except Exception as exc:
+                raise JobFlowError(
+                    f"job flow step {index} ({step.name!r}) failed: {exc}",
+                    step_name=step.name,
+                    step_index=index,
+                    counters=getattr(exc, "counters", None),
+                ) from exc
+            if self.checkpoint_store is not None:
+                self.checkpoint_store.put(
+                    key,
+                    {
+                        "step_name": step.name,
+                        "output": list(result.output),
+                        "counters": result.counters.as_dict(),
+                        "map_stats": result.map_stats,
+                        "reduce_stats": result.reduce_stats,
+                    },
+                )
+                tracer.event(
+                    "jobflow.checkpoint",
+                    step=step.name, index=index, key=key, n_records=len(result.output),
+                )
+            step_span.set("makespan", result.makespan)
         return result
 
     def _restore(self, step: JobFlowStep, payload: dict) -> JobResult:

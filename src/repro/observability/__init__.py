@@ -1,0 +1,63 @@
+"""Observability: tracing, metrics, structured logging, and trace reports.
+
+The paper's whole evaluation (Sections 5.4-5.6) is per-stage attribution —
+time and memory by pipeline stage, collision statistics, and 16/32/64-node
+makespans. This package makes every such number a first-class artifact of a
+run instead of an ad-hoc measurement:
+
+* :mod:`~repro.observability.trace` — nested spans with wall time and
+  explicit parent links, point events, and a process-wide tracer that
+  defaults to a zero-overhead no-op;
+* :mod:`~repro.observability.metrics` — counters, gauges, and fixed-bucket
+  histograms exported with the trace;
+* :mod:`~repro.observability.sink` — the JSON-lines trace file (one run,
+  one file) and its reader;
+* :mod:`~repro.observability.report` — the Section 5.6 per-stage breakdown
+  and the fault ledger, rebuilt from a trace file (``repro trace report``);
+* :mod:`~repro.observability.logging` — the single place handlers/levels
+  for the ``repro`` logger namespace are configured.
+"""
+
+from repro.observability.logging import configure, configure_logging, get_logger
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    pow2_buckets,
+)
+from repro.observability.report import fault_summary, render_trace_report, stage_breakdown
+from repro.observability.sink import InMemorySink, JsonLinesSink, read_trace
+from repro.observability.trace import (
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    trace_to,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "JsonLinesSink",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "configure",
+    "configure_logging",
+    "fault_summary",
+    "get_logger",
+    "get_tracer",
+    "pow2_buckets",
+    "read_trace",
+    "render_trace_report",
+    "set_tracer",
+    "stage_breakdown",
+    "trace_to",
+    "use_tracer",
+]

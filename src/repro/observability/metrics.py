@@ -1,0 +1,223 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The quantities the paper tabulates that are *not* wall time — bucket-size
+distributions (Section 4's collision analysis), kernel-block storage
+(Eq. 12), Lanczos iteration counts, retry tallies — are recorded here and
+exported as one ``metrics`` record at the end of a trace. Instruments are
+deliberately minimal (no labels, no time series): one process, one run,
+one snapshot.
+
+The null registry (:data:`NULL_METRICS`) backs the disabled tracer so hot
+paths can call ``tracer.metrics.counter(...).inc()`` unconditionally and
+pay only attribute lookups and a no-op call when tracing is off.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "pow2_buckets",
+]
+
+
+def pow2_buckets(max_exponent: int = 20) -> tuple:
+    """Power-of-two bucket bounds ``(1, 2, 4, ..., 2**max_exponent)``.
+
+    The natural scale for bucket sizes and block byte counts, whose
+    distributions span orders of magnitude (Figure 5's sweep covers
+    2..4096-point buckets).
+    """
+    if max_exponent < 0:
+        raise ValueError(f"max_exponent must be >= 0, got {max_exponent}")
+    return tuple(2**i for i in range(max_exponent + 1))
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative — counters never go down)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement (e.g. resolved sigma, peak block bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = None
+
+    def set(self, value) -> None:
+        """Record the current value, replacing any previous one."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max.
+
+    ``buckets`` are inclusive upper bounds in increasing order; one implicit
+    overflow bucket catches everything above the last bound, so ``counts``
+    has ``len(buckets) + 1`` entries.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets=None):
+        bounds = tuple(float(b) for b in (buckets if buckets is not None else pow2_buckets()))
+        if not bounds:
+            raise ValueError("histograms need at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must strictly increase, got {bounds}")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value) -> None:
+        """Record one sample into its bucket (linear scan: bucket lists are
+        short and fixed, and this stays allocation-free)."""
+        value = float(value)
+        i = 0
+        for bound in self.buckets:
+            if value <= bound:
+                break
+            i += 1
+        self.counts[i] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by metric name.
+
+    A name identifies exactly one instrument kind for the registry's
+    lifetime; asking for the same name with a different kind (or a
+    histogram with different buckets) is a programming error and raises.
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind, factory):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"metric {name!r} is a {type(existing).__name__}, not a {kind.__name__}"
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, buckets=None) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        hist = self._get_or_create(name, Histogram, lambda: Histogram(name, buckets))
+        if buckets is not None and hist.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets {hist.buckets}"
+            )
+        return hist
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict:
+        """Serializable snapshot: ``{"counters": ..., "gauges": ..., "histograms": ...}``."""
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                out["counters"][name] = inst.value
+            elif isinstance(inst, Gauge):
+                out["gauges"][name] = inst.value
+            else:
+                out["histograms"][name] = {
+                    "buckets": list(inst.buckets),
+                    "counts": list(inst.counts),
+                    "count": inst.count,
+                    "sum": inst.sum,
+                    "min": None if inst.count == 0 else inst.min,
+                    "max": None if inst.count == 0 else inst.max,
+                }
+        return out
+
+
+class _NullInstrument:
+    """Accepts every instrument method as a no-op (disabled-tracer path)."""
+
+    __slots__ = ()
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class _NullMetricsRegistry:
+    """Registry returned by the disabled tracer: every lookup is the same
+    shared no-op instrument and nothing is retained."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: Shared no-op registry backing :class:`~repro.observability.trace.NullTracer`.
+NULL_METRICS = _NullMetricsRegistry()

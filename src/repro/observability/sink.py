@@ -1,0 +1,105 @@
+"""Trace event sinks: where tracer records go.
+
+A *record* is a plain dict with a ``type`` field (``span`` / ``event`` /
+``metrics`` / ``meta``). Sinks only need an ``emit(record)`` method;
+:class:`JsonLinesSink` appends one JSON object per line so a whole run —
+pipeline stages, MapReduce task attempts, fault events, final metric
+snapshots — exports to a single machine-readable file that
+``repro trace report`` (and the tests) can re-read with :func:`read_trace`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+__all__ = ["InMemorySink", "JsonLinesSink", "read_trace"]
+
+
+def _json_default(obj):
+    """Coerce non-JSON values (numpy scalars/arrays, sets, objects) to JSON."""
+    item = getattr(obj, "item", None)
+    if callable(item) and getattr(obj, "ndim", None) in (None, 0):
+        return obj.item()  # numpy scalar
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):
+        return obj.tolist()  # numpy array
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj, key=repr)
+    return repr(obj)
+
+
+class InMemorySink:
+    """Collects records in a list (the default sink; used heavily by tests)."""
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def flush(self) -> None:  # interface parity with JsonLinesSink
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class JsonLinesSink:
+    """Appends records to a JSON-lines file (one trace file per run).
+
+    Parameters
+    ----------
+    path:
+        Output file path, or an already-open text stream.
+    mode:
+        ``"w"`` truncates (fresh run); ``"a"`` appends — what a resumed
+        driver uses so post-crash spans land in the same trace file.
+    """
+
+    def __init__(self, path, *, mode: str = "w"):
+        if mode not in ("w", "a"):
+            raise ValueError(f"mode must be 'w' or 'a', got {mode!r}")
+        if isinstance(path, (str, os.PathLike)):
+            self.path = os.fspath(path)
+            self._stream = open(self.path, mode, encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self.path = getattr(path, "name", None)
+            self._stream = path
+            self._owns_stream = False
+
+    def emit(self, record: dict) -> None:
+        """Serialize one record as a JSON line (flushed immediately, so a
+        crashed driver still leaves a readable prefix)."""
+        self._stream.write(json.dumps(record, default=_json_default) + "\n")
+        self._stream.flush()
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+
+
+def read_trace(source) -> list[dict]:
+    """Load a JSON-lines trace back into a list of record dicts.
+
+    ``source`` is a file path or a text stream; blank lines are skipped and
+    records are returned in ``seq`` order when every record carries one
+    (file order otherwise), so reports see spans in open order even though
+    the tracer emits them at close.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+    elif isinstance(source, io.TextIOBase) or hasattr(source, "read"):
+        records = [json.loads(line) for line in source if line.strip()]
+    else:
+        raise TypeError(f"expected a path or text stream, got {type(source).__name__}")
+    if records and all("seq" in r for r in records):
+        records.sort(key=lambda r: r["seq"])
+    return records

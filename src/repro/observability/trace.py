@@ -1,0 +1,292 @@
+"""Span-based tracing for the DASC pipeline and the MapReduce substrate.
+
+A :class:`Span` is a named interval of wall time with key/value attributes,
+an explicit parent link, and a monotonic sequence number; a point-in-time
+:meth:`Tracer.event` hangs fault/checkpoint occurrences off the current
+span. Spans nest through a plain stack — the tracer is single-threaded by
+design, matching the in-process engine it instruments.
+
+The default global tracer is a :class:`NullTracer`: every instrumentation
+site costs one ``get_tracer()`` call and a no-op context manager when
+tracing is off, so the quickstart path pays no measurable overhead. Enable
+tracing by installing a real tracer::
+
+    from repro.observability import trace_to
+
+    with trace_to("run.jsonl"):
+        DASC(8, seed=0).fit(X)
+
+or, for explicit control, ``set_tracer(Tracer(sink=JsonLinesSink(path)))``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.observability.metrics import NULL_METRICS, MetricsRegistry
+from repro.observability.sink import InMemorySink, JsonLinesSink
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "trace_to",
+]
+
+
+class Span:
+    """One named, timed interval in a trace.
+
+    Attributes
+    ----------
+    name / span_id / parent_id:
+        Identity and the explicit parent link (``None`` for roots).
+    seq:
+        Monotonic open-order index shared with events — total ordering of
+        the whole trace even though spans are emitted at close.
+    start / end:
+        ``time.perf_counter()`` readings; ``end`` is ``None`` while open.
+    attributes:
+        Key/value payload (set at open via kwargs or later via :meth:`set`).
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "seq", "start", "end", "attributes")
+
+    def __init__(self, name: str, span_id: int, parent_id: int | None, seq: int, start: float):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.seq = seq
+        self.start = start
+        self.end: float | None = None
+        self.attributes: dict = {}
+
+    def set(self, key: str, value) -> None:
+        """Attach or overwrite one attribute."""
+        self.attributes[key] = value
+
+    @property
+    def duration(self) -> float | None:
+        """Elapsed seconds (``None`` while the span is still open)."""
+        return None if self.end is None else self.end - self.start
+
+    def to_record(self) -> dict:
+        """The span as a serializable trace record."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "seq": self.seq,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": self.attributes,
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.duration:.6f}s" if self.end is not None else "open"
+        return f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, {state})"
+
+
+class Tracer:
+    """Collects nested spans, point events, and metrics into a sink.
+
+    Parameters
+    ----------
+    sink:
+        Record destination (default: an :class:`InMemorySink`, whose
+        ``records`` list the tests read back directly).
+    metrics:
+        A :class:`MetricsRegistry`; a fresh one is created when omitted.
+        :meth:`flush` exports its snapshot as a ``metrics`` record.
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None, *, metrics: MetricsRegistry | None = None):
+        self.sink = sink if sink is not None else InMemorySink()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._next_seq = 0
+
+    # -- recording ----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Open a child span of whatever span is currently innermost.
+
+        The span record is emitted at close (it needs its end time); ``seq``
+        preserves open order for readers. Exceptions propagate after the
+        span is closed and stamped with ``error``.
+        """
+        span = Span(
+            name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            seq=self._next_seq,
+            start=time.perf_counter(),
+        )
+        self._next_id += 1
+        self._next_seq += 1
+        if attributes:
+            span.attributes.update(attributes)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.set("error", f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            span.end = time.perf_counter()
+            popped = self._stack.pop()
+            if popped is not span:  # pragma: no cover - misuse guard
+                raise RuntimeError(f"span stack corrupted: closed {span!r}, top was {popped!r}")
+            self.sink.emit(span.to_record())
+
+    def event(self, name: str, **attributes) -> dict:
+        """Emit a point-in-time event under the current span (retry fired,
+        node died, checkpoint written...). Returns the emitted record."""
+        record = {
+            "type": "event",
+            "name": name,
+            "parent_id": self._stack[-1].span_id if self._stack else None,
+            "seq": self._next_seq,
+            "time": time.perf_counter(),
+            "attributes": attributes,
+        }
+        self._next_seq += 1
+        self.sink.emit(record)
+        return record
+
+    def meta(self, **attributes) -> dict:
+        """Emit a ``meta`` record (run identity: dataset size, config,
+        wall-clock timestamp — anything the report should echo)."""
+        record = {
+            "type": "meta",
+            "seq": self._next_seq,
+            "unix_time": time.time(),
+            "attributes": attributes,
+        }
+        self._next_seq += 1
+        self.sink.emit(record)
+        return record
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def current_span(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def flush(self) -> None:
+        """Export the metrics snapshot (when non-empty) and flush the sink."""
+        if len(self.metrics):
+            self.sink.emit(
+                {"type": "metrics", "seq": self._next_seq, "data": self.metrics.snapshot()}
+            )
+            self._next_seq += 1
+        self.sink.flush()
+
+    def close(self) -> None:
+        """Flush, then close the sink."""
+        self.flush()
+        self.sink.close()
+
+
+class _NullSpanContext:
+    """The do-nothing span: context manager and attribute sink in one.
+
+    A single shared instance is returned for every disabled ``span()`` call,
+    so the hot path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, key, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a guard-check-cheap no-op."""
+
+    enabled = False
+    metrics = NULL_METRICS
+
+    def span(self, name: str, **attributes):
+        return _NULL_SPAN
+
+    def event(self, name: str, **attributes) -> None:
+        return None
+
+    def meta(self, **attributes) -> None:
+        return None
+
+    @property
+    def current_span(self):
+        return None
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared disabled tracer (also what :func:`set_tracer(None)` restores).
+NULL_TRACER = NullTracer()
+
+_current: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer():
+    """The process-wide tracer (a :class:`NullTracer` unless one was installed)."""
+    return _current
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` globally (``None`` → disabled); returns the previous one."""
+    global _current
+    previous = _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Scoped :func:`set_tracer`: install for the block, then restore."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+@contextmanager
+def trace_to(path, *, mode: str = "w"):
+    """Record everything inside the block to a JSON-lines trace file.
+
+    The one-liner wrapping of sink + tracer + install + flush; ``mode="a"``
+    appends (what a resumed driver run uses to extend its original trace).
+    """
+    tracer = Tracer(sink=JsonLinesSink(path, mode=mode))
+    try:
+        with use_tracer(tracer):
+            yield tracer
+    finally:
+        tracer.close()

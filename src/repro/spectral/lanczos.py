@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.observability import get_tracer
 from repro.utils.rng import as_rng
 
 __all__ = ["lanczos_tridiagonalize", "lanczos_top_eigenpairs"]
@@ -55,6 +56,7 @@ def lanczos_tridiagonalize(A, n_steps: int | None = None, *, seed=0):
     alpha = np.zeros(m)
     beta = np.zeros(max(m - 1, 0))
 
+    tracer = get_tracer()
     Q[:, 0] = q
     for j in range(m):
         w = A @ Q[:, j]
@@ -69,9 +71,15 @@ def lanczos_tridiagonalize(A, n_steps: int | None = None, *, seed=0):
         norm = np.linalg.norm(w)
         if norm < _BREAKDOWN_TOL:
             # Invariant subspace: return the converged leading block.
+            if tracer.enabled:
+                tracer.event("lanczos.tridiagonalize", n=n, steps=j + 1, breakdown=True)
+                tracer.metrics.counter("lanczos.steps").inc(j + 1)
             return alpha[: j + 1], beta[:j], Q[:, : j + 1]
         beta[j] = norm
         Q[:, j + 1] = w / norm
+    if tracer.enabled:
+        tracer.event("lanczos.tridiagonalize", n=n, steps=m, breakdown=False)
+        tracer.metrics.counter("lanczos.steps").inc(m)
     return alpha, beta, Q
 
 
@@ -123,6 +131,10 @@ def lanczos_top_eigenpairs(matvec, n: int, k: int, *, n_steps: int | None = None
             v = v - (b @ v) * b
         return v
 
+    tracer = get_tracer()
+    n_runs = 0
+    n_matvecs = 0
+
     # Restart only after an *early breakdown* — the signature of having
     # exhausted an invariant subspace (degenerate eigenvalues). A run that
     # completes all its steps means the Krylov space is still productive
@@ -138,6 +150,7 @@ def lanczos_top_eigenpairs(matvec, n: int, k: int, *, n_steps: int | None = None
             break
         q /= norm
 
+        n_runs += 1
         seg_cols: list[np.ndarray] = [q]
         alpha: list[float] = []
         beta: list[float] = []
@@ -145,6 +158,7 @@ def lanczos_top_eigenpairs(matvec, n: int, k: int, *, n_steps: int | None = None
         broke_down = False
         for j in range(steps):
             w = matvec(seg_cols[j])
+            n_matvecs += 1
             alpha.append(float(seg_cols[j] @ w))
             w = w - alpha[j] * seg_cols[j]
             if j > 0:
@@ -173,6 +187,14 @@ def lanczos_top_eigenpairs(matvec, n: int, k: int, *, n_steps: int | None = None
         basis.extend(seg_cols)
         if not broke_down and len(ritz_vals) >= k:
             break
+
+    if tracer.enabled:
+        tracer.event(
+            "lanczos.solve",
+            n=n, k=k, restarts=n_runs, matvecs=n_matvecs, basis_size=len(basis),
+        )
+        tracer.metrics.counter("lanczos.matvecs").inc(n_matvecs)
+        tracer.metrics.counter("lanczos.restarts").inc(n_runs)
 
     order = np.argsort(ritz_vals)[::-1][:k]
     vals = np.array([ritz_vals[i] for i in order])

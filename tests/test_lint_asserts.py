@@ -1,8 +1,15 @@
-"""Lint: no bare ``assert`` statements on runtime data inside ``src/repro``.
+"""AST lints over ``src/repro``.
 
-Asserts vanish under ``python -O`` and produce opaque AssertionErrors with no
-context; library code must raise explicit exceptions instead. Tests are free
-to use ``assert`` — this walk covers only the installed package.
+* No bare ``assert`` statements on runtime data: asserts vanish under
+  ``python -O`` and produce opaque AssertionErrors with no context; library
+  code must raise explicit exceptions instead.
+* No bare ``print(...)`` calls: a print without an explicit ``file=``
+  argument writes to whatever stdout happens to be, corrupting
+  machine-readable output (CSV labels, trace files) and bypassing the
+  ``repro.observability`` logging configuration. Diagnostics go through
+  ``get_logger``; intentional terminal output states its stream.
+
+Tests are free to use both — these walks cover only the installed package.
 """
 
 import ast
@@ -11,11 +18,33 @@ from pathlib import Path
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 
-def test_no_assert_statements_in_library_code():
-    offenders = []
+def _walk_library_trees():
     for path in sorted(SRC.rglob("*.py")):
         tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        yield path, tree
+
+
+def test_no_assert_statements_in_library_code():
+    offenders = []
+    for path, tree in _walk_library_trees():
         for node in ast.walk(tree):
             if isinstance(node, ast.Assert):
                 offenders.append(f"{path.relative_to(SRC.parent)}:{node.lineno}")
     assert not offenders, "bare assert in library code:\n" + "\n".join(offenders)
+
+
+def test_no_bare_print_in_library_code():
+    offenders = []
+    for path, tree in _walk_library_trees():
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+                and not any(kw.arg == "file" for kw in node.keywords)
+            ):
+                offenders.append(f"{path.relative_to(SRC.parent)}:{node.lineno}")
+    assert not offenders, (
+        "print() without explicit file= in library code (use repro.observability"
+        ".get_logger, or pass file=sys.stdout/sys.stderr):\n" + "\n".join(offenders)
+    )

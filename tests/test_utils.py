@@ -66,9 +66,36 @@ class TestTiming:
         a.merge(b)
         assert a.laps == {"x": 3.0, "y": 3.0}
 
+    def test_stopwatch_merge_empty_other_is_noop(self):
+        a = Stopwatch()
+        a.laps["x"] = 1.5
+        a.merge(Stopwatch())
+        assert a.laps == {"x": 1.5}
+
+    def test_stopwatch_lap_records_on_exception(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with sw.lap("fails"):
+                raise RuntimeError("boom")
+        assert "fails" in sw.laps
+        assert sw.laps["fails"] >= 0.0
+
     def test_timed_records_nonnegative(self):
         with timed() as box:
             sum(range(100))
+        assert box[0] >= 0.0
+
+    def test_timed_box_is_zero_until_exit_then_filled(self):
+        with timed() as box:
+            assert box == [0.0]  # filled only at scope exit
+            inner = box
+        assert inner is box
+        assert box[0] >= 0.0
+
+    def test_timed_fills_box_on_exception(self):
+        with pytest.raises(ValueError):
+            with timed() as box:
+                raise ValueError("boom")
         assert box[0] >= 0.0
 
 
