@@ -45,6 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--n-bits", type=int, default=None, help="DASC signature length M")
     p_cluster.add_argument("--seed", type=int, default=0)
     p_cluster.add_argument(
+        "--n-jobs", type=int, default=None,
+        help="worker processes for DASC's per-bucket stage (-1: all cores; "
+        "default: REPRO_N_JOBS or serial); results are identical to serial",
+    )
+    p_cluster.add_argument(
         "--label-column", type=int, default=None,
         help="0-based column holding ground-truth labels (excluded from features)",
     )
@@ -117,7 +122,10 @@ def _cmd_cluster(args) -> int:
     X, y = _read_matrix(args.input, args.label_column)
     sigma = args.sigma
     if args.algorithm == "dasc":
-        algo = DASC(args.n_clusters, sigma=sigma, n_bits=args.n_bits, seed=args.seed)
+        algo = DASC(
+            args.n_clusters, sigma=sigma, n_bits=args.n_bits, seed=args.seed,
+            n_jobs=args.n_jobs,
+        )
     elif args.algorithm == "sc":
         algo = SpectralClustering(args.n_clusters, sigma=sigma or 1.0, seed=args.seed)
     elif args.algorithm == "psc":

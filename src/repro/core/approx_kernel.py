@@ -18,7 +18,7 @@ import scipy.sparse as sp
 
 from repro.core.buckets import Buckets
 from repro.kernels.functions import Kernel
-from repro.kernels.matrix import gram_matrix
+from repro.kernels.matrix import gram_matrix_auto
 from repro.utils.memory import block_diagonal_bytes
 from repro.utils.validation import check_2d
 
@@ -93,13 +93,34 @@ class ApproximateKernel:
         )
 
 
+def _bucket_block_worker(payload):
+    """Process-pool entry point: compute one bucket's Gram block.
+
+    The dataset arrives as a :class:`~repro.mapreduce.executor.SharedArray`
+    handle (a few bytes per task); only the bucket's rows are copied out of
+    the shared segment. The same function runs in-process on the serial
+    path, so both backends execute identical arithmetic.
+    """
+    from repro.mapreduce.executor import _null_child_tracer
+
+    _null_child_tracer()
+    shared, idx, kernel, zero_diagonal = payload
+    X = shared.asarray()
+    block = gram_matrix_auto(X[idx], kernel, zero_diagonal=zero_diagonal)
+    shared.close()
+    return block
+
+
 def build_approximate_kernel(
-    X, buckets: Buckets, kernel: Kernel, *, zero_diagonal: bool = True
+    X, buckets: Buckets, kernel: Kernel, *, zero_diagonal: bool = True, executor=None
 ) -> ApproximateKernel:
     """Compute the per-bucket Gram blocks (Algorithm 2, all reducers).
 
     ``zero_diagonal`` follows Algorithm 2, which writes 0 on each block's
-    diagonal (zero self-affinity).
+    diagonal (zero self-affinity). With a parallel ``executor`` the blocks
+    are computed across worker processes (dataset broadcast once through
+    shared memory) and collected in bucket order — bit-identical to the
+    serial result.
     """
     X = check_2d(X)
     if buckets.assignments.shape[0] != X.shape[0]:
@@ -107,8 +128,35 @@ def build_approximate_kernel(
             f"buckets cover {buckets.assignments.shape[0]} points, data has {X.shape[0]}"
         )
     approx = ApproximateKernel(n_samples=X.shape[0])
-    for _, idx in buckets.iter_members():
-        block = gram_matrix(X[idx], kernel, zero_diagonal=zero_diagonal)
-        approx.blocks.append(block)
+    members = list(buckets.iter_members())
+    if executor is not None and getattr(executor, "parallel", False) and len(members) > 1:
+        from repro.mapreduce.executor import SharedArray, is_picklable
+
+        if is_picklable(kernel):
+            with SharedArray.create(X) as shared:
+                payloads = [(shared, idx, kernel, zero_diagonal) for _, idx in members]
+                blocks = executor.map_ordered(_bucket_block_worker, payloads)
+            approx.blocks.extend(blocks)
+            approx.bucket_indices.extend(idx for _, idx in members)
+            return approx
+    for _, idx in members:
+        approx.blocks.append(
+            _bucket_block_worker((_LocalArray(X), idx, kernel, zero_diagonal))
+        )
         approx.bucket_indices.append(idx)
     return approx
+
+
+class _LocalArray:
+    """Duck-typed stand-in for SharedArray on the serial path (no copy)."""
+
+    __slots__ = ("_array",)
+
+    def __init__(self, array: np.ndarray):
+        self._array = array
+
+    def asarray(self) -> np.ndarray:
+        return self._array
+
+    def close(self) -> None:
+        pass

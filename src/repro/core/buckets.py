@@ -140,10 +140,21 @@ def merge_buckets(buckets: Buckets, min_shared_bits: int, *, strategy: str = "st
 
     if strategy == "transitive":
         uf = _UnionFind(buckets.n_buckets)
-        for i in range(buckets.n_buckets - 1):
-            dist = hamming_distance(sigs[i], sigs[i + 1 :])
-            for j in np.nonzero(dist <= max_diff)[0]:
-                uf.union(i, i + 1 + int(j))
+        # One vectorized XOR/popcount sweep per row block (instead of a
+        # Python-level pair loop) discovers all mergeable pairs; the block
+        # bounds the (block x T) distance temporary. Union order does not
+        # matter: _UnionFind parents max roots to min roots, so each
+        # component's label is its minimum member either way.
+        n = buckets.n_buckets
+        block = max(1, (1 << 22) // n)
+        for start in range(0, n - 1, block):
+            stop = min(start + block, n - 1)
+            dist = hamming_distance(sigs[start:stop, None], sigs[None, :])
+            ii, jj = np.nonzero(dist <= max_diff)
+            ii += start
+            for i, j in zip(ii.tolist(), jj.tolist()):
+                if i < j:
+                    uf.union(i, j)
         groups = np.array([uf.find(b) for b in range(buckets.n_buckets)], dtype=np.int64)
         return _merge_groups(buckets, groups)
 
@@ -180,7 +191,10 @@ def fold_small_buckets(buckets: Buckets, min_size: int) -> Buckets:
         return buckets
     groups = np.arange(buckets.n_buckets, dtype=np.int64)
     big_sigs = buckets.signatures[big]
-    for b in np.nonzero(sizes < min_size)[0]:
-        dist = hamming_distance(buckets.signatures[b], big_sigs)
-        groups[b] = big[int(np.argmin(dist))]
+    small = np.nonzero(sizes < min_size)[0]
+    # One broadcast popcount (small x big) + row-wise argmin; argmin takes
+    # the first minimum, i.e. the lowest big signature (np.unique sorted
+    # them), matching the documented tie rule.
+    dist = hamming_distance(buckets.signatures[small][:, None], big_sigs[None, :])
+    groups[small] = big[np.argmin(dist, axis=1)]
     return _merge_groups(buckets, groups)

@@ -86,6 +86,12 @@ class DASCConfig:
         Algorithm 2's zero-self-similarity convention.
     seed:
         Master seed for hashing, eigensolvers, and K-means.
+    n_jobs:
+        Worker processes for the per-bucket kernel + spectral stage.
+        ``None`` defers to the ``REPRO_N_JOBS`` environment variable
+        (unset: serial); ``-1`` uses all visible cores. Results are
+        bit-identical to serial for any value — buckets are independent
+        sub-problems and labels merge in bucket order.
     """
 
     n_clusters: int | None = None
@@ -103,6 +109,7 @@ class DASCConfig:
     zero_diagonal: bool = True
     kmeans_n_init: int = 4
     seed: int | None = 0
+    n_jobs: int | None = None
     extra: dict = field(default_factory=dict)
 
     def resolve_n_bits(self, n_samples: int) -> int:

@@ -39,6 +39,38 @@ from repro.utils.validation import check_2d
 __all__ = ["DASC"]
 
 
+def _cluster_block_pure(
+    block: np.ndarray,
+    k_i: int,
+    eig_seed: int | None,
+    km_seed: int | None,
+    eig_backend: str,
+    kmeans_n_init: int,
+) -> np.ndarray:
+    """Spectral-cluster one Gram block into ``k_i`` local labels.
+
+    Module-level and parameterised by explicit seeds so the serial loop and
+    the process-pool workers run literally the same function on the same
+    inputs — the basis of the parallel backend's bit-identity guarantee.
+    """
+    n_i = block.shape[0]
+    if k_i >= n_i:
+        return np.arange(n_i, dtype=np.int64)[:n_i] % max(k_i, 1)
+    if k_i == 1:
+        return np.zeros(n_i, dtype=np.int64)
+    embedding = spectral_embedding(block, k_i, backend=eig_backend, seed=eig_seed)
+    km = KMeans(k_i, n_init=kmeans_n_init, seed=km_seed)
+    return km.fit_predict(embedding)
+
+
+def _cluster_block_worker(payload) -> np.ndarray:
+    """Process-pool entry point wrapping :func:`_cluster_block_pure`."""
+    from repro.mapreduce.executor import _null_child_tracer
+
+    _null_child_tracer()
+    return _cluster_block_pure(*payload)
+
+
 class DASC:
     """Distributed Approximate Spectral Clustering.
 
@@ -97,6 +129,12 @@ class DASC:
 
     # -- pipeline stages, individually callable for the MapReduce driver ----
 
+    def _resolve_executor(self):
+        """The execution backend ``config.n_jobs`` asks for."""
+        from repro.mapreduce.executor import resolve_executor
+
+        return resolve_executor(self.config.n_jobs)
+
     def _resolve_kernel(self, X: np.ndarray) -> Kernel:
         if self._kernel_override is not None:
             self.sigma_ = getattr(self._kernel_override, "sigma", None)
@@ -146,7 +184,11 @@ class DASC:
         kernel = self._resolve_kernel(X)
         with self.stopwatch_.lap("kernel"), tracer.span("dasc.kernel") as span:
             approx = build_approximate_kernel(
-                X, buckets, kernel, zero_diagonal=self.config.zero_diagonal
+                X,
+                buckets,
+                kernel,
+                zero_diagonal=self.config.zero_diagonal,
+                executor=self._resolve_executor(),
             )
             span.set("n_blocks", approx.n_blocks)
             span.set("gram_bytes", approx.nbytes)
@@ -198,14 +240,33 @@ class DASC:
 
         labels = np.full(n, -1, dtype=np.int64)
         seed_rng = as_rng(self.config.seed)
+        executor = self._resolve_executor()
+        # Seeds are pre-drawn in the exact order the serial loop consumed
+        # them (only blocks that reach the eigensolver draw, eig before
+        # K-means, bucket order), so any backend sees identical seeds.
+        payloads = []
+        for b, block in enumerate(approx.blocks):
+            k_i = int(allocation[b])
+            if k_i < block.shape[0] and k_i > 1:
+                eig_seed = int(seed_rng.integers(2**31))
+                km_seed = int(seed_rng.integers(2**31))
+            else:
+                eig_seed = km_seed = None
+            payloads.append(
+                (block, k_i, eig_seed, km_seed, self.config.eig_backend, self.config.kmeans_n_init)
+            )
         offset = 0
         with self.stopwatch_.lap("spectral"), tracer.span("dasc.spectral") as span:
-            for b, (idx, block) in enumerate(zip(approx.bucket_indices, approx.blocks)):
-                k_i = int(allocation[b])
-                labels[idx] = offset + self._cluster_block(block, k_i, seed_rng)
-                offset += k_i
+            if executor.parallel and len(payloads) > 1:
+                block_labels = executor.map_ordered(_cluster_block_worker, payloads)
+            else:
+                block_labels = [_cluster_block_worker(p) for p in payloads]
+            for b, (idx, local) in enumerate(zip(approx.bucket_indices, block_labels)):
+                labels[idx] = offset + local
+                offset += int(allocation[b])
             span.set("n_blocks", approx.n_blocks)
             span.set("n_local_clusters", offset)
+            span.set("executor", executor.describe())
         if (labels < 0).any():
             raise RuntimeError(
                 f"{int((labels < 0).sum())} points were never assigned a bucket cluster"
@@ -232,11 +293,11 @@ class DASC:
     def _cluster_block(self, block: np.ndarray, k_i: int, seed_rng: np.random.Generator) -> np.ndarray:
         """Spectral-cluster one bucket's Gram block into ``k_i`` local labels."""
         n_i = block.shape[0]
-        if k_i >= n_i:
-            return np.arange(n_i, dtype=np.int64)[: n_i] % max(k_i, 1)
-        if k_i == 1:
-            return np.zeros(n_i, dtype=np.int64)
-        eig_seed = int(seed_rng.integers(2**31))
-        embedding = spectral_embedding(block, k_i, backend=self.config.eig_backend, seed=eig_seed)
-        km = KMeans(k_i, n_init=self.config.kmeans_n_init, seed=int(seed_rng.integers(2**31)))
-        return km.fit_predict(embedding)
+        if k_i >= n_i or k_i == 1:
+            eig_seed = km_seed = None
+        else:
+            eig_seed = int(seed_rng.integers(2**31))
+            km_seed = int(seed_rng.integers(2**31))
+        return _cluster_block_pure(
+            block, k_i, eig_seed, km_seed, self.config.eig_backend, self.config.kmeans_n_init
+        )

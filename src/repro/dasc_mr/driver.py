@@ -113,6 +113,12 @@ class DistributedDASC:
         is created when omitted, so independent runs don't share state).
     split_size:
         Records per HDFS input split (the unit of map parallelism).
+    n_jobs:
+        Worker processes for real task compute (``None``: the
+        ``REPRO_N_JOBS`` environment variable, unset = serial). Applies
+        when the driver creates its own EMR service; an explicit ``emr``
+        keeps whatever executor it was built with. Results are
+        bit-identical to serial for any value.
     spectral_mode:
         ``"inline"`` (default): each stage-2 reducer carries Algorithm 2
         straight through the NJW steps — one reduce call per bucket.
@@ -132,6 +138,7 @@ class DistributedDASC:
         emr: ElasticMapReduce | None = None,
         split_size: int = 1024,
         spectral_mode: str = "inline",
+        n_jobs: int | None = None,
     ):
         self.config = config if config is not None else DASCConfig()
         if n_clusters is not None:
@@ -143,7 +150,12 @@ class DistributedDASC:
         if spectral_mode not in ("inline", "mahout"):
             raise ValueError(f"spectral_mode must be 'inline' or 'mahout', got {spectral_mode!r}")
         self.n_nodes = int(n_nodes)
-        self.emr = emr if emr is not None else ElasticMapReduce()
+        if emr is not None:
+            self.emr = emr
+        else:
+            from repro.mapreduce.executor import resolve_executor
+
+            self.emr = ElasticMapReduce(executor=resolve_executor(n_jobs))
         self.split_size = int(split_size)
         self.spectral_mode = spectral_mode
         self._pending: dict[str, dict] = {}

@@ -14,12 +14,57 @@ from __future__ import annotations
 import numpy as np
 
 from repro.kernels.functions import GaussianKernel
-from repro.kernels.matrix import gram_matrix
+from repro.kernels.matrix import gram_matrix_auto
 from repro.mapreduce.types import JobSpec
 from repro.spectral.embedding import spectral_embedding
 from repro.spectral.kmeans import KMeans
 
-__all__ = ["similarity_reducer", "make_clustering_job", "similarity_matrix_reducer", "make_similarity_job"]
+__all__ = [
+    "similarity_reducer",
+    "make_clustering_job",
+    "similarity_matrix_reducer",
+    "make_similarity_job",
+    "identity_mapper",
+    "bucket_partitioner",
+    "SpectralReduceCost",
+]
+
+
+# Module-level (not nested) so stage-2 JobSpecs pickle cleanly and the
+# engine may run their tasks in worker processes.
+
+
+def identity_mapper(key, value, ctx):
+    """Pass records through unchanged (stage 2 consumes stage 1's output)."""
+    yield (key, value)
+
+
+def bucket_partitioner(key, n: int) -> int:
+    """Bucket ids are small ints; partition them round-robin."""
+    return int(key) % n
+
+
+def quadratic_reduce_cost(bucket_id, members) -> float:
+    """Algorithm 2's cost: filling an N_i x N_i sub-similarity matrix."""
+    return float(len(members) ** 2)
+
+
+class SpectralReduceCost:
+    """The paper's per-bucket complexity ``2 N_i^2 + 2 K_i N_i`` (Eq. 3).
+
+    A picklable callable closed over the driver's allocation table, which is
+    what makes the simulated makespans follow the paper's analysis.
+    """
+
+    __slots__ = ("allocation",)
+
+    def __init__(self, allocation: dict):
+        self.allocation = allocation
+
+    def __call__(self, bucket_id, members) -> float:
+        n_i = len(members)
+        k_i = self.allocation[bucket_id][0]
+        return float(2 * n_i * n_i + 2 * k_i * n_i)
 
 
 def similarity_matrix_reducer(bucket_id, members, ctx):
@@ -34,7 +79,7 @@ def similarity_matrix_reducer(bucket_id, members, ctx):
     params = ctx.job.params
     indices = [m[0] for m in members]
     X = np.asarray([np.asarray(m[1], dtype=np.float64) for m in members])
-    S = gram_matrix(X, GaussianKernel(params["sigma"]), zero_diagonal=True)
+    S = gram_matrix_auto(X, GaussianKernel(params["sigma"]), zero_diagonal=True)
     ctx.increment("dasc", "similarity_matrices_written")
     ctx.increment("dasc", "similarity_entries", S.shape[0] * S.shape[0])
     yield (bucket_id, (indices, S))
@@ -44,17 +89,13 @@ def make_similarity_job(*, sigma: float, n_reducers: int, name: str = "dasc-stag
     """Build the Algorithm-2-only JobSpec (sub-similarity matrices as output)."""
     if n_reducers < 1:
         raise ValueError(f"n_reducers must be >= 1, got {n_reducers}")
-
-    def identity_mapper(key, value, ctx):
-        yield (key, value)
-
     return JobSpec(
         name=name,
         mapper=identity_mapper,
         reducer=similarity_matrix_reducer,
         n_reducers=n_reducers,
-        partitioner=lambda key, n: int(key) % n,
-        reduce_cost=lambda bucket_id, members: float(len(members) ** 2),
+        partitioner=bucket_partitioner,
+        reduce_cost=quadratic_reduce_cost,
         params={"sigma": float(sigma)},
     )
 
@@ -81,7 +122,7 @@ def similarity_reducer(bucket_id, members, ctx):
         local = np.zeros(n_i, dtype=np.int64)
     else:
         # Algorithm 2: the bucket's Gram block with a zero diagonal...
-        S = gram_matrix(X, GaussianKernel(params["sigma"]), zero_diagonal=True)
+        S = gram_matrix_auto(X, GaussianKernel(params["sigma"]), zero_diagonal=True)
         # ...then Eq. 2 + NJW embedding + K-means on the embedding rows.
         seed = (params["seed"] + int(bucket_id)) % (2**31)
         Y = spectral_embedding(S, k_i, backend=params["eig_backend"], seed=seed)
@@ -111,22 +152,13 @@ def make_clustering_job(
     """
     if n_reducers < 1:
         raise ValueError(f"n_reducers must be >= 1, got {n_reducers}")
-
-    def identity_mapper(key, value, ctx):
-        yield (key, value)
-
-    def reduce_cost(bucket_id, members):
-        n_i = len(members)
-        k_i = allocation[bucket_id][0]
-        return float(2 * n_i * n_i + 2 * k_i * n_i)
-
     return JobSpec(
         name=name,
         mapper=identity_mapper,
         reducer=similarity_reducer,
         n_reducers=n_reducers,
-        partitioner=lambda key, n: int(key) % n,
-        reduce_cost=reduce_cost,
+        partitioner=bucket_partitioner,
+        reduce_cost=SpectralReduceCost(allocation),
         params={
             "sigma": float(sigma),
             "allocation": allocation,

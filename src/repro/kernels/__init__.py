@@ -15,9 +15,11 @@ from repro.kernels.functions import (
     get_kernel,
 )
 from repro.kernels.matrix import (
+    BLOCKED_THRESHOLD,
     pairwise_sq_distances,
     gram_matrix,
     gram_matrix_blocked,
+    gram_matrix_auto,
 )
 from repro.kernels.bandwidth import median_heuristic, mean_knn_heuristic
 
@@ -32,6 +34,8 @@ __all__ = [
     "pairwise_sq_distances",
     "gram_matrix",
     "gram_matrix_blocked",
+    "gram_matrix_auto",
+    "BLOCKED_THRESHOLD",
     "median_heuristic",
     "mean_knn_heuristic",
 ]

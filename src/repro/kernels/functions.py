@@ -36,9 +36,24 @@ class Kernel:
         raise NotImplementedError
 
     def diagonal(self, X) -> np.ndarray:
-        """k(x, x) for each row of X without forming the full matrix."""
+        """k(x, x) for each row of X without forming the full matrix.
+
+        Generic fallback: evaluate the kernel on row chunks and keep each
+        chunk's diagonal — one vectorized ``compute`` per chunk instead of
+        one 1x1 Gram matrix per row. The working set stays bounded at
+        ``chunk x chunk``; subclasses with a closed form override this with
+        an O(n) expression.
+        """
         X = check_2d(X)
-        return np.array([self.compute(X[i : i + 1], X[i : i + 1])[0, 0] for i in range(X.shape[0])])
+        n = X.shape[0]
+        chunk = 256
+        if n <= chunk:
+            return np.diagonal(self.compute(X, X)).copy()
+        out = np.empty(n)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            out[start:stop] = np.diagonal(self.compute(X[start:stop], X[start:stop]))
+        return out
 
 
 def _sq_distances(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
@@ -91,6 +106,10 @@ class LinearKernel(Kernel):
     def compute(self, X, Y):
         return X @ Y.T
 
+    def diagonal(self, X):
+        X = check_2d(X)
+        return np.einsum("ij,ij->i", X, X)
+
 
 class PolynomialKernel(Kernel):
     """``(gamma x.y + coef0)^degree``; PSD when gamma > 0, coef0 >= 0."""
@@ -107,6 +126,10 @@ class PolynomialKernel(Kernel):
 
     def compute(self, X, Y):
         return (self.gamma * (X @ Y.T) + self.coef0) ** self.degree
+
+    def diagonal(self, X):
+        X = check_2d(X)
+        return (self.gamma * np.einsum("ij,ij->i", X, X) + self.coef0) ** self.degree
 
 
 class CosineKernel(Kernel):

@@ -13,7 +13,16 @@ import numpy as np
 from repro.kernels.functions import Kernel
 from repro.utils.validation import check_2d
 
-__all__ = ["pairwise_sq_distances", "gram_matrix", "gram_matrix_blocked"]
+__all__ = [
+    "pairwise_sq_distances",
+    "gram_matrix",
+    "gram_matrix_blocked",
+    "gram_matrix_auto",
+    "BLOCKED_THRESHOLD",
+]
+
+#: Above this many rows, ``gram_matrix_auto`` switches to the blocked path.
+BLOCKED_THRESHOLD = 2048
 
 
 def pairwise_sq_distances(X, Y=None) -> np.ndarray:
@@ -39,6 +48,35 @@ def gram_matrix(X, kernel: Kernel, *, zero_diagonal: bool = False) -> np.ndarray
     if zero_diagonal:
         np.fill_diagonal(K, 0.0)
     return K
+
+
+def gram_matrix_auto(
+    X,
+    kernel: Kernel,
+    *,
+    zero_diagonal: bool = False,
+    threshold: int = BLOCKED_THRESHOLD,
+    block_size: int = 1024,
+) -> np.ndarray:
+    """Gram matrix via the unblocked or blocked path, picked by size.
+
+    Small inputs take :func:`gram_matrix` (one kernel call, no panel
+    bookkeeping); inputs above ``threshold`` rows take
+    :func:`gram_matrix_blocked` to bound the temporary working set.
+
+    Every Gram consumer in the pipeline (the in-core kernel builder, both
+    Stage-2 reducers, the parallel per-bucket workers) routes through this
+    one helper so that any pair of runs being compared for bit-identity
+    crosses the blocked/unblocked boundary at the same input sizes. (BLAS
+    matrix products are not bitwise-reproducible across different problem
+    partitionings, so blocked and unblocked results can differ by a few ULP
+    beyond one panel — equal code paths, not equal tolerances, is what makes
+    serial-vs-parallel comparisons exact.)
+    """
+    X = check_2d(X)
+    if X.shape[0] > threshold:
+        return gram_matrix_blocked(X, kernel, block_size=block_size, zero_diagonal=zero_diagonal)
+    return gram_matrix(X, kernel, zero_diagonal=zero_diagonal)
 
 
 def gram_matrix_blocked(

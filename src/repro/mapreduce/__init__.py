@@ -13,12 +13,23 @@ deployment story needs:
   quantity of Table 3),
 * :mod:`repro.mapreduce.emr` — an Elastic-MapReduce-like service: an
   S3-like object store plus job flows of steps,
-* :mod:`repro.mapreduce.counters` — Hadoop-style counters.
+* :mod:`repro.mapreduce.counters` — Hadoop-style counters,
+* :mod:`repro.mapreduce.executor` — serial / process-pool execution
+  backends for real-core task parallelism (``REPRO_N_JOBS``).
 """
 
 from repro.mapreduce.types import KeyValue, MapTaskResult, JobSpec
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.engine import MapReduceEngine, stable_hash
+from repro.mapreduce.executor import (
+    ExecutorError,
+    ParallelExecutor,
+    SerialExecutor,
+    SharedArray,
+    default_executor,
+    effective_n_jobs,
+    resolve_executor,
+)
 from repro.mapreduce.hdfs import SimulatedHDFS, FileSplit
 from repro.mapreduce.cluster import (
     NodeConfig,
@@ -46,6 +57,13 @@ __all__ = [
     "Counters",
     "MapReduceEngine",
     "stable_hash",
+    "ExecutorError",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "SharedArray",
+    "effective_n_jobs",
+    "resolve_executor",
+    "default_executor",
     "SimulatedHDFS",
     "FileSplit",
     "NodeConfig",

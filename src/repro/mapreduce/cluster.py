@@ -68,6 +68,7 @@ class TaskStats:
     speculative_launched: int = 0  # backup attempts started for stragglers
     speculative_won: int = 0  # backups that beat the original attempt
     wasted_cost: float = 0.0  # work charged to the clock but thrown away
+    real_elapsed: float = 0.0  # measured wall-clock of the phase's compute
 
     @property
     def utilization(self) -> float:

@@ -58,9 +58,10 @@ class _ProvisionedFlow:
 class ElasticMapReduce:
     """The EMR front-end: provision job flows against shared S3 storage."""
 
-    def __init__(self, *, node_config: NodeConfig = EMR_NODE_CONFIG):
+    def __init__(self, *, node_config: NodeConfig = EMR_NODE_CONFIG, executor=None):
         self.s3 = S3Store()
         self.node_config = node_config
+        self.executor = executor  # None: each engine resolves from REPRO_N_JOBS
         self._flows: dict[str, _ProvisionedFlow] = {}
         self._next_id = 0
 
@@ -78,7 +79,7 @@ class ElasticMapReduce:
         cluster = SimulatedCluster(n_nodes, node=self.node_config)
         flow_id = f"j-{self._next_id:06d}"
         flow = JobFlow(
-            engine=MapReduceEngine(cluster),
+            engine=MapReduceEngine(cluster, executor=self.executor),
             fs=SimulatedHDFS(
                 n_nodes, replication=self.node_config.replication, default_split_size=split_size
             ),

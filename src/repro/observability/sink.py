@@ -13,6 +13,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import threading
 
 __all__ = ["InMemorySink", "JsonLinesSink", "read_trace"]
 
@@ -70,15 +71,22 @@ class JsonLinesSink:
             self.path = getattr(path, "name", None)
             self._stream = path
             self._owns_stream = False
+        # Span re-emission from parallel phases may reach the sink from
+        # executor callback threads; serialise write+flush so lines never
+        # interleave mid-record.
+        self._lock = threading.Lock()
 
     def emit(self, record: dict) -> None:
         """Serialize one record as a JSON line (flushed immediately, so a
         crashed driver still leaves a readable prefix)."""
-        self._stream.write(json.dumps(record, default=_json_default) + "\n")
-        self._stream.flush()
+        line = json.dumps(record, default=_json_default) + "\n"
+        with self._lock:
+            self._stream.write(line)
+            self._stream.flush()
 
     def flush(self) -> None:
-        self._stream.flush()
+        with self._lock:
+            self._stream.flush()
 
     def close(self) -> None:
         if self._owns_stream and not self._stream.closed:

@@ -168,3 +168,78 @@ class TestBandwidth:
 
     def test_knn_single_point(self):
         assert mean_knn_heuristic(np.ones((1, 3))) == 1.0
+
+
+class TestGramMatrixAuto:
+    """The single blocked/unblocked dispatch shared by every Gram consumer."""
+
+    def test_below_threshold_is_bitwise_plain(self, rng):
+        from repro.kernels import gram_matrix_auto
+
+        X = rng.uniform(-1, 1, (40, 5))
+        k = GaussianKernel(0.9)
+        auto = gram_matrix_auto(X, k, threshold=64, block_size=32)
+        ref = gram_matrix(X, k)
+        assert np.array_equal(auto, ref)  # same code path, bit-for-bit
+
+    def test_above_threshold_is_bitwise_blocked(self, rng):
+        from repro.kernels import gram_matrix_auto
+
+        X = rng.uniform(-1, 1, (80, 5))
+        k = GaussianKernel(0.9)
+        auto = gram_matrix_auto(X, k, threshold=64, block_size=32)
+        ref = gram_matrix_blocked(X, k, block_size=32)
+        assert np.array_equal(auto, ref)
+
+    def test_zero_diagonal_passthrough(self, rng):
+        from repro.kernels import gram_matrix_auto
+
+        X = rng.uniform(-1, 1, (70, 4))
+        K = gram_matrix_auto(X, GaussianKernel(1.0), threshold=64, block_size=32,
+                             zero_diagonal=True)
+        assert np.allclose(np.diag(K), 0.0)
+
+    @pytest.mark.parametrize("delta", [-1, 0, +1])
+    def test_boundary_agreement_at_block_size(self, delta):
+        """Blocked vs plain at n = block_size - 1, block_size, block_size + 1.
+
+        At n <= block_size the blocked path issues the exact same single
+        kernel call as the plain path, so the results are bitwise equal. At
+        n = block_size + 1 the second panel splits the underlying BLAS
+        products into different shapes; gemm is not bitwise-reproducible
+        across problem partitionings, so agreement there is to a few ULPs,
+        not bit-for-bit.
+        """
+        block_size = 64
+        n = block_size + delta
+        X = np.random.default_rng(delta + 5).uniform(-1, 1, (n, 6))
+        k = GaussianKernel(0.8)
+        plain = gram_matrix(X, k)
+        blocked = gram_matrix_blocked(X, k, block_size=block_size)
+        if delta <= 0:
+            assert np.array_equal(plain, blocked)
+        else:
+            np.testing.assert_allclose(blocked, plain, rtol=0, atol=5e-14)
+
+
+class TestDiagonalVectorized:
+    """Per-subclass diagonal shortcuts vs the full-Gram diagonal."""
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: type(k).__name__)
+    def test_large_input_chunked_path(self, kernel):
+        # n > the base class's 256-row chunk: exercises the chunked loop for
+        # kernels without a closed-form override.
+        X = random_X(3, n=700, d=4)
+        assert np.allclose(kernel.diagonal(X), np.diag(kernel(X)))
+
+    def test_linear_closed_form(self):
+        X = random_X(4, n=50)
+        k = LinearKernel()
+        assert np.array_equal(k.diagonal(X), np.einsum("ij,ij->i", X, X))
+
+    def test_polynomial_closed_form(self):
+        X = random_X(5, n=50)
+        k = PolynomialKernel(degree=3, gamma=0.25, coef0=0.5)
+        expected = (0.25 * np.einsum("ij,ij->i", X, X) + 0.5) ** 3
+        assert np.allclose(k.diagonal(X), expected)
+        assert np.allclose(k.diagonal(X), np.diag(k(X)))
