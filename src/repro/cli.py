@@ -10,6 +10,11 @@ Three subcommands cover the common workflows:
   models) for a chosen dataset size.
 * ``repro trace report`` — render a recorded JSON-lines trace as the
   per-stage timing breakdown of Section 5.6 plus the fault ledger.
+* ``repro verify`` — the differential verification harness: the same
+  seeded workload through serial vs process-pool execution, local vs
+  MapReduce DASC, and crash-resumed vs uninterrupted job flows
+  (bit-identical labels/counters), plus DASC-vs-exact-SC quality gates
+  (Section 5.3), with stage-boundary invariant checks armed.
 
 Installed as ``python -m repro.cli ...`` (no console-script entry point is
 registered so that offline ``setup.py develop`` installs stay simple).
@@ -71,6 +76,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("model", choices=("complexity", "collision"))
     p_an.add_argument("-n", "--n-samples", type=float, default=2**20)
     p_an.add_argument("-m", "--n-bits", type=int, default=15)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="differential verification: serial/parallel/resumed equality + quality gates",
+    )
+    p_verify.add_argument("-n", "--n-samples", type=int, default=400)
+    p_verify.add_argument("-k", "--n-clusters", type=int, default=4)
+    p_verify.add_argument("-d", "--n-features", type=int, default=16)
+    p_verify.add_argument("--cluster-std", type=float, default=0.03)
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.add_argument(
+        "--n-jobs", type=int, default=2,
+        help="worker processes for the parallel legs (default: 2)",
+    )
+    p_verify.add_argument("--n-nodes", type=int, default=4, help="simulated cluster size")
+    p_verify.add_argument("--nmi-min", type=float, default=0.95, help="NMI quality gate")
+    p_verify.add_argument(
+        "--ase-rel-tol", type=float, default=0.05,
+        help="max relative ASE excess over exact spectral clustering",
+    )
+    p_verify.add_argument(
+        "--no-validate", action="store_true",
+        help="run without the stage-boundary invariant checks",
+    )
+    p_verify.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the report as JSON ('-': stdout)",
+    )
 
     p_trace = sub.add_parser("trace", help="inspect recorded traces")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
@@ -189,6 +222,35 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    import json
+
+    from repro.verify import render_verification_report, run_differential_suite
+
+    report = run_differential_suite(
+        n_samples=args.n_samples,
+        n_clusters=args.n_clusters,
+        n_features=args.n_features,
+        cluster_std=args.cluster_std,
+        seed=args.seed,
+        n_jobs=args.n_jobs,
+        n_nodes=args.n_nodes,
+        nmi_min=args.nmi_min,
+        ase_rel_tol=args.ase_rel_tol,
+        validate=not args.no_validate,
+    )
+    print(render_verification_report(report), file=sys.stdout)
+    if args.json is not None:
+        payload = json.dumps(report.to_dict(), indent=2)
+        if args.json == "-":
+            print(payload, file=sys.stdout)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"report written to {args.json}", file=sys.stderr)
+    return 0 if report.passed else 1
+
+
 def _cmd_trace(args) -> int:
     from repro.observability import read_trace, render_trace_report
 
@@ -215,6 +277,8 @@ def main(argv=None) -> int:
         return _cmd_generate(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     return _cmd_analyze(args)
 
 

@@ -117,9 +117,10 @@ def merge_buckets(buckets: Buckets, min_shared_bits: int, *, strategy: str = "st
     O(T^2) comparison over the T unique signatures; they differ in how the
     pairwise merge relation is closed into a partition:
 
-    * ``"star"`` (default) — greedy, largest bucket first: each leader
-      absorbs its still-unmerged near-duplicate signatures, and absorbed
-      buckets do not recruit further. No chains, so two well-separated
+    * ``"star"`` (default) — greedy, largest bucket first (ties broken by
+      lowest bucket id, i.e. lowest signature): each leader absorbs its
+      still-unmerged near-duplicate signatures, and absorbed buckets do
+      not recruit further. No chains, so two well-separated
       clusters never glue together through a trail of noise signatures;
       this preserves the parallelism (B stays large) that the paper's
       Section 4.1 analysis and Figure 5 bucket counts assume.
@@ -159,9 +160,12 @@ def merge_buckets(buckets: Buckets, min_shared_bits: int, *, strategy: str = "st
         return _merge_groups(buckets, groups)
 
     # Star merge: visit buckets largest-first; unclaimed buckets become
-    # leaders and claim their unclaimed near-duplicates.
+    # leaders and claim their unclaimed near-duplicates. Sorting the
+    # *negated* sizes keeps the stable sort's lowest-id-first order within
+    # each tie — reversing an ascending stable sort would visit equal-size
+    # buckets highest-id-first instead.
     sizes = buckets.sizes
-    order = np.argsort(sizes, kind="stable")[::-1]
+    order = np.argsort(-sizes, kind="stable")
     groups = np.full(buckets.n_buckets, -1, dtype=np.int64)
     for b in order:
         if groups[b] != -1:

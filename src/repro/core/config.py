@@ -92,6 +92,13 @@ class DASCConfig:
         (unset: serial); ``-1`` uses all visible cores. Results are
         bit-identical to serial for any value — buckets are independent
         sub-problems and labels merge in bucket order.
+    validate:
+        Run the :mod:`repro.verify.invariants` checks at every stage
+        boundary (bucket partition, Gram blocks, Laplacian spectrum,
+        embedding rows, final labels), raising a structured
+        ``InvariantViolation`` on the first broken contract. ``None``
+        (the default) defers to the ``REPRO_VALIDATE`` environment
+        variable; ``True``/``False`` force it per estimator.
     """
 
     n_clusters: int | None = None
@@ -110,6 +117,7 @@ class DASCConfig:
     kmeans_n_init: int = 4
     seed: int | None = 0
     n_jobs: int | None = None
+    validate: bool | None = None
     extra: dict = field(default_factory=dict)
 
     def resolve_n_bits(self, n_samples: int) -> int:

@@ -35,6 +35,12 @@ from repro.utils.memory import MemoryLedger
 from repro.utils.rng import as_rng
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_2d
+from repro.verify.invariants import (
+    check_buckets,
+    check_gram_block,
+    check_labels_range,
+    validation_enabled,
+)
 
 __all__ = ["DASC"]
 
@@ -46,19 +52,24 @@ def _cluster_block_pure(
     km_seed: int | None,
     eig_backend: str,
     kmeans_n_init: int,
+    validate: bool = False,
 ) -> np.ndarray:
     """Spectral-cluster one Gram block into ``k_i`` local labels.
 
     Module-level and parameterised by explicit seeds so the serial loop and
     the process-pool workers run literally the same function on the same
     inputs — the basis of the parallel backend's bit-identity guarantee.
+    ``validate`` carries the invariant-checking flag across the process
+    boundary (workers check the Eq.-2 spectrum and embedding row norms).
     """
     n_i = block.shape[0]
     if k_i >= n_i:
         return np.arange(n_i, dtype=np.int64)[:n_i] % max(k_i, 1)
     if k_i == 1:
         return np.zeros(n_i, dtype=np.int64)
-    embedding = spectral_embedding(block, k_i, backend=eig_backend, seed=eig_seed)
+    embedding = spectral_embedding(
+        block, k_i, backend=eig_backend, seed=eig_seed, validate=validate
+    )
     km = KMeans(k_i, n_init=kmeans_n_init, seed=km_seed)
     return km.fit_predict(embedding)
 
@@ -129,6 +140,10 @@ class DASC:
 
     # -- pipeline stages, individually callable for the MapReduce driver ----
 
+    def _validate_active(self) -> bool:
+        """Whether the invariant layer is on (config override or REPRO_VALIDATE)."""
+        return validation_enabled(self.config.validate)
+
     def _resolve_executor(self):
         """The execution backend ``config.n_jobs`` asks for."""
         from repro.mapreduce.executor import resolve_executor
@@ -169,6 +184,10 @@ class DASC:
             buckets = merge_buckets(buckets, p, strategy=self.config.merge_strategy)
             buckets = fold_small_buckets(buckets, self.config.min_bucket_size)
             span.set("n_buckets", buckets.n_buckets)
+        if self._validate_active():
+            check_buckets(
+                buckets, X.shape[0], point_signatures=signatures, stage="dasc.bucket"
+            )
         if tracer.enabled:
             hist = tracer.metrics.histogram("dasc.bucket_size")
             for size in buckets.sizes:
@@ -192,6 +211,16 @@ class DASC:
             )
             span.set("n_blocks", approx.n_blocks)
             span.set("gram_bytes", approx.nbytes)
+        if self._validate_active():
+            unit_range = getattr(kernel, "unit_range", False)
+            for b, block in enumerate(approx.blocks):
+                check_gram_block(
+                    block,
+                    zero_diagonal=self.config.zero_diagonal,
+                    unit_range=unit_range,
+                    stage="dasc.kernel",
+                    bucket_id=b,
+                )
         if tracer.enabled:
             tracer.metrics.gauge("dasc.sigma").set(self.sigma_)
             tracer.metrics.gauge("dasc.gram_bytes").set(approx.nbytes)
@@ -253,7 +282,11 @@ class DASC:
             else:
                 eig_seed = km_seed = None
             payloads.append(
-                (block, k_i, eig_seed, km_seed, self.config.eig_backend, self.config.kmeans_n_init)
+                (
+                    block, k_i, eig_seed, km_seed,
+                    self.config.eig_backend, self.config.kmeans_n_init,
+                    self._validate_active(),
+                )
             )
         offset = 0
         with self.stopwatch_.lap("spectral"), tracer.span("dasc.spectral") as span:
@@ -279,6 +312,8 @@ class DASC:
                 span.set("merged_from", offset)
                 span.set("merged_to", k_total)
             offset = k_total
+        if self._validate_active():
+            check_labels_range(labels, offset, stage="dasc.labels")
         fit_span.set("n_clusters", offset)
         fit_span.set("n_buckets", buckets.n_buckets)
         self.labels_ = labels
@@ -299,5 +334,6 @@ class DASC:
             eig_seed = int(seed_rng.integers(2**31))
             km_seed = int(seed_rng.integers(2**31))
         return _cluster_block_pure(
-            block, k_i, eig_seed, km_seed, self.config.eig_backend, self.config.kmeans_n_init
+            block, k_i, eig_seed, km_seed, self.config.eig_backend,
+            self.config.kmeans_n_init, self._validate_active(),
         )

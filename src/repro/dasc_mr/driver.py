@@ -41,6 +41,12 @@ from repro.mapreduce.emr import ElasticMapReduce
 from repro.observability import get_tracer
 from repro.utils.memory import block_diagonal_bytes
 from repro.utils.validation import check_2d
+from repro.verify.invariants import (
+    check_buckets,
+    check_counter_equals,
+    check_labels_range,
+    validation_enabled,
+)
 
 __all__ = ["DistributedResult", "DistributedDASC"]
 
@@ -276,6 +282,24 @@ class DistributedDASC:
         self.emr.terminate(flow_id)
 
         buckets = state["buckets"]
+        if validation_enabled(self.config.validate):
+            # Conservation: one signature per point through stage 1 (retries
+            # must not inflate the tally), one reduce call per bucket in
+            # stage 2, and a complete in-range final labelling.
+            check_counter_equals(
+                stage1_result.counters, "dasc", "signatures_emitted", n,
+                stage="driver.collect",
+            )
+            check_counter_equals(
+                stage1_result.counters, "map", "input_records", n,
+                stage="driver.collect",
+            )
+            if self.spectral_mode == "inline":
+                check_counter_equals(
+                    stage2_result.counters, "dasc", "buckets_reduced",
+                    buckets.n_buckets, stage="driver.collect",
+                )
+            check_labels_range(labels, state["total_clusters"], stage="driver.collect")
         return DistributedResult(
             labels=labels,
             n_clusters=state["total_clusters"],
@@ -306,6 +330,10 @@ class DistributedDASC:
             p = self.config.resolve_min_shared_bits(n_bits)
             buckets = merge_buckets(buckets, p, strategy=self.config.merge_strategy)
             buckets = fold_small_buckets(buckets, self.config.min_bucket_size)
+            if validation_enabled(self.config.validate):
+                check_buckets(
+                    buckets, len(payloads), point_signatures=sigs, stage="driver.merge"
+                )
             sizes = buckets.sizes
             ks = allocate_clusters(sizes, k_total, policy=self.config.allocation)
             offsets = np.concatenate([[0], np.cumsum(ks)[:-1]])
@@ -329,6 +357,7 @@ class DistributedDASC:
                     eig_backend=self.config.eig_backend,
                     kmeans_n_init=self.config.kmeans_n_init,
                     seed=self.config.seed if isinstance(self.config.seed, int) else 0,
+                    validate=validation_enabled(self.config.validate),
                 )
                 fl.add_job(stage2, "buckets", "labels")
             else:

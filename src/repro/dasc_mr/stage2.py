@@ -116,6 +116,7 @@ def similarity_reducer(bucket_id, members, ctx):
     ctx.increment("dasc", "buckets_reduced")
     ctx.increment("dasc", "similarity_entries", n_i * n_i)
 
+    validate = bool(params.get("validate", False))
     if k_i >= n_i:
         local = np.arange(n_i, dtype=np.int64)
     elif k_i == 1:
@@ -123,9 +124,18 @@ def similarity_reducer(bucket_id, members, ctx):
     else:
         # Algorithm 2: the bucket's Gram block with a zero diagonal...
         S = gram_matrix_auto(X, GaussianKernel(params["sigma"]), zero_diagonal=True)
+        if validate:
+            from repro.verify.invariants import check_gram_block
+
+            check_gram_block(
+                S, zero_diagonal=True, unit_range=True,
+                stage="mr.stage2", bucket_id=int(bucket_id),
+            )
         # ...then Eq. 2 + NJW embedding + K-means on the embedding rows.
         seed = (params["seed"] + int(bucket_id)) % (2**31)
-        Y = spectral_embedding(S, k_i, backend=params["eig_backend"], seed=seed)
+        Y = spectral_embedding(
+            S, k_i, backend=params["eig_backend"], seed=seed, validate=validate
+        )
         local = KMeans(k_i, n_init=params["kmeans_n_init"], seed=seed).fit_predict(Y)
 
     for idx, lab in zip(indices, local):
@@ -140,6 +150,7 @@ def make_clustering_job(
     eig_backend: str = "dense",
     kmeans_n_init: int = 4,
     seed: int = 0,
+    validate: bool = False,
     name: str = "dasc-stage2-spectral",
 ) -> JobSpec:
     """Build the stage-2 JobSpec.
@@ -165,5 +176,6 @@ def make_clustering_job(
             "eig_backend": eig_backend,
             "kmeans_n_init": int(kmeans_n_init),
             "seed": int(seed),
+            "validate": bool(validate),
         },
     )

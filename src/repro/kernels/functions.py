@@ -25,6 +25,11 @@ __all__ = [
 class Kernel:
     """Base class: a callable ``k(X, Y) -> (n, m)`` similarity matrix."""
 
+    #: Whether every kernel value lies in [0, 1] (with k(x, x) = 1), as the
+    #: Gaussian of Eq. (1) does. The validation layer only enforces the
+    #: Gram-block range invariant for kernels that declare it.
+    unit_range = False
+
     def __call__(self, X, Y=None) -> np.ndarray:
         X = check_2d(X)
         Y = X if Y is None else check_2d(Y)
@@ -72,6 +77,8 @@ class GaussianKernel(Kernel):
     decays with distance.
     """
 
+    unit_range = True
+
     def __init__(self, sigma: float = 1.0):
         check_positive(sigma, name="sigma")
         self.sigma = float(sigma)
@@ -86,6 +93,8 @@ class GaussianKernel(Kernel):
 
 class LaplacianKernel(Kernel):
     """``exp(-||x - y||_1 / sigma)`` — heavier tails than the Gaussian."""
+
+    unit_range = True
 
     def __init__(self, sigma: float = 1.0):
         check_positive(sigma, name="sigma")

@@ -66,6 +66,12 @@ def histogram_valley_threshold(values: np.ndarray, n_bins: int = N_BINS) -> floa
     bin with the smallest count. Ties go to the lowest such bin, matching a
     left-to-right minimum scan. A zero-span dimension returns its constant
     value (every point then lands on the same side).
+
+    When the least-populated bin is bin 0, its lower edge *is* the column
+    minimum, so the resulting bit (``x <= min``) would be constant for every
+    point except the exact minima — silently wasting one of the M signature
+    bits. In that case the threshold falls back to the least-populated bin
+    with an interior (non-degenerate) lower edge.
     """
     values = np.asarray(values, dtype=np.float64).ravel()
     if values.size == 0:
@@ -77,6 +83,8 @@ def histogram_valley_threshold(values: np.ndarray, n_bins: int = N_BINS) -> floa
         return float(lo)
     counts, _ = np.histogram(values, bins=n_bins, range=(lo, hi))
     s = int(np.argmin(counts))
+    if s == 0 and n_bins > 1:
+        s = 1 + int(np.argmin(counts[1:]))
     return float(lo + s * span / n_bins)
 
 

@@ -46,6 +46,18 @@ __all__ = [
 ]
 
 
+def _validation_enabled() -> bool:
+    """Whether the engine should self-check counter conservation.
+
+    The substrate has no per-job config object, so only the global
+    ``REPRO_VALIDATE`` switch applies here (lazy import: repro.verify sits
+    above the substrate in the layering).
+    """
+    from repro.verify.invariants import validation_enabled
+
+    return validation_enabled()
+
+
 @dataclass
 class TaskContext:
     """What a running task sees: its job parameters and shared counters."""
@@ -258,6 +270,7 @@ class MapReduceEngine:
             else:
                 split_records.append(split)
                 placements.append(())
+        validate = _validation_enabled()
         phase_start = time.perf_counter()
         if parallel:
             map_results = self._map_phase_parallel(job, split_records, counters, tracer)
@@ -268,6 +281,16 @@ class MapReduceEngine:
             map_stats = self._schedule_map_phase(map_results, placements, counters)
         map_stats.real_elapsed = map_wall
         counters.increment("job", "map_tasks", len(map_results))
+        if validate:
+            # Counter conservation: retries and parallel fan-out must tally
+            # each input record exactly once (the bit-identity contract).
+            from repro.verify.invariants import check_counter_equals
+
+            check_counter_equals(
+                counters, "map", "input_records",
+                sum(len(records) for records in split_records),
+                stage=f"mr.job:{job.name}",
+            )
 
         if job.reducer is None:
             output = [rec for r in map_results for rec in r.records]
@@ -298,6 +321,13 @@ class MapReduceEngine:
             reduce_stats = self._schedule_reduce_phase(reduce_costs, counters)
         reduce_stats.real_elapsed = reduce_wall
         counters.increment("job", "reduce_tasks", len(reduce_costs))
+        if validate:
+            from repro.verify.invariants import check_counter_equals
+
+            check_counter_equals(
+                counters, "reduce", "output_records", len(output),
+                stage=f"mr.job:{job.name}",
+            )
         return JobResult(
             job_name=job.name,
             output=output,

@@ -25,12 +25,21 @@ def row_normalize(X) -> np.ndarray:
     return X / safe
 
 
-def spectral_embedding(S, k: int, *, backend: str = "dense", seed=0) -> np.ndarray:
+def spectral_embedding(S, k: int, *, backend: str = "dense", seed=0, validate: bool = False) -> np.ndarray:
     """(n, k) row-normalized NJW embedding of affinity matrix ``S``.
 
     Computes ``L = D^{-1/2} S D^{-1/2}`` (Eq. 2), extracts the ``k`` largest
-    eigenvectors and row-normalizes.
+    eigenvectors and row-normalizes. With ``validate`` the extracted
+    eigenvalues are asserted to lie in ``[-1, 1]`` (the Eq.-2 spectrum
+    bound) and the embedding rows to be unit-norm, raising
+    :class:`repro.verify.InvariantViolation` otherwise.
     """
     L = normalized_laplacian(S)
-    _, vecs = top_eigenvectors(L, k, backend=backend, seed=seed)
-    return row_normalize(vecs)
+    vals, vecs = top_eigenvectors(L, k, backend=backend, seed=seed)
+    Y = row_normalize(vecs)
+    if validate:
+        from repro.verify.invariants import check_eigenvalues, check_embedding
+
+        check_eigenvalues(vals, stage="spectral.embedding")
+        check_embedding(Y, stage="spectral.embedding")
+    return Y

@@ -13,15 +13,31 @@ __all__ = [
 ]
 
 
-def check_2d(X, *, name: str = "X", dtype=np.float64) -> np.ndarray:
-    """Validate a 2-D, finite, non-empty sample matrix and return it as an array."""
+def check_2d(X, *, name: str = "X", dtype=np.float64, ensure_finite: bool = True) -> np.ndarray:
+    """Validate a 2-D, non-empty sample matrix and return it as an array.
+
+    With ``ensure_finite`` (the default) NaN/inf features are rejected up
+    front with an error naming the offending column(s) — otherwise they
+    flow through span/histogram statistics into selection probabilities
+    and surface as an opaque ``rng.choice`` failure deep in the hasher.
+    """
     arr = np.asarray(X, dtype=dtype)
     if arr.ndim != 2:
         raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
     if arr.shape[0] == 0 or arr.shape[1] == 0:
         raise ValueError(f"{name} must be non-empty, got shape {arr.shape}")
-    if not np.all(np.isfinite(arr)):
-        raise ValueError(f"{name} contains non-finite values")
+    if ensure_finite:
+        finite = np.isfinite(arr)
+        if not finite.all():
+            bad_cols = np.flatnonzero(~finite.all(axis=0))
+            n_bad = int((~finite).sum())
+            shown = ", ".join(map(str, bad_cols[:8]))
+            suffix = ", ..." if bad_cols.size > 8 else ""
+            raise ValueError(
+                f"{name} contains {n_bad} non-finite value(s) (NaN/inf) in "
+                f"column(s) [{shown}{suffix}]; clean or impute these features "
+                "before clustering"
+            )
     return arr
 
 

@@ -1,0 +1,281 @@
+"""Differential verification: the same workload down every execution path.
+
+The pipeline makes three strong determinism promises and one quality
+promise, and this module checks all of them on a seeded, block-structured
+synthetic workload (the shape of the paper's Section-5.3 comparison):
+
+1. **serial vs process-pool** — ``DASC.fit`` with ``n_jobs=1`` and with a
+   :class:`~repro.mapreduce.executor.ParallelExecutor` must produce
+   bit-identical labels, buckets, and allocations;
+2. **serial vs process-pool, distributed** — the full
+   :class:`~repro.dasc_mr.driver.DistributedDASC` job flow on either
+   backend must produce bit-identical labels *and counters*;
+3. **crash-resumed vs uninterrupted** — a flow killed between steps and
+   :meth:`~repro.dasc_mr.driver.DistributedDASC.resume`-d must match the
+   uninterrupted run bit-for-bit (labels, counters, makespan);
+4. **local vs distributed** — ``DASC.fit`` and the MapReduce path must
+   agree as partitions (identical up to relabelling; gated on NMI);
+5. **DASC vs exact SC** — the Section-5.3 quality claim: on
+   block-structured data, DASC's ASE stays within a tolerance of exact
+   spectral clustering's and NMI against ground truth stays high.
+
+Every run executes with the invariant layer on (``validate=True``), so a
+passing report also certifies the stage-boundary contracts of
+:mod:`repro.verify.invariants`. The ``repro verify`` CLI subcommand wraps
+:func:`run_differential_suite` and renders the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CheckResult",
+    "VerificationReport",
+    "partitions_equal",
+    "render_verification_report",
+    "run_differential_suite",
+]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one differential check."""
+
+    name: str
+    passed: bool
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "passed": self.passed, "details": self.details}
+
+
+@dataclass
+class VerificationReport:
+    """All differential checks for one seeded workload."""
+
+    workload: dict
+    checks: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every check passed."""
+        return all(c.passed for c in self.checks)
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "passed": self.passed,
+            "checks": [c.to_dict() for c in self.checks],
+        }
+
+
+def partitions_equal(a, b) -> bool:
+    """Whether two labelings induce the same partition (bijective relabelling)."""
+    a = np.asarray(a).ravel()
+    b = np.asarray(b).ravel()
+    if a.shape != b.shape:
+        return False
+    forward: dict = {}
+    backward: dict = {}
+    for x, y in zip(a.tolist(), b.tolist()):
+        if forward.setdefault(x, y) != y or backward.setdefault(y, x) != x:
+            return False
+    return True
+
+
+def _counters_equal(a: dict, b: dict) -> bool:
+    return a == b
+
+
+def _run_check(report: VerificationReport, name: str, fn) -> None:
+    """Run one check body, converting any exception into a failed check."""
+    try:
+        passed, details = fn()
+    except Exception as exc:  # a crashed path is a failed check, not a crashed harness
+        passed, details = False, {"error": f"{type(exc).__name__}: {exc}"}
+    report.checks.append(CheckResult(name=name, passed=bool(passed), details=details))
+
+
+def run_differential_suite(
+    *,
+    n_samples: int = 400,
+    n_clusters: int = 4,
+    n_features: int = 16,
+    cluster_std: float = 0.03,
+    seed: int = 0,
+    n_jobs: int = 2,
+    n_nodes: int = 4,
+    nmi_min: float = 0.95,
+    acc_min: float = 0.95,
+    ase_rel_tol: float = 0.05,
+    validate: bool = True,
+) -> VerificationReport:
+    """Run the full differential matrix on one seeded synthetic workload.
+
+    Parameters mirror the workload knobs (block-structured blobs, the
+    Section-5.3 shape) and the tolerance gates. ``validate=True`` (default)
+    runs every path with stage-boundary invariant checks armed.
+    """
+    from repro.core.config import DASCConfig
+    from repro.core.dasc import DASC
+    from repro.data.synthetic import make_blobs
+    from repro.dasc_mr.driver import DistributedDASC
+    from repro.mapreduce.emr import ElasticMapReduce
+    from repro.mapreduce.executor import ParallelExecutor, SerialExecutor
+    from repro.metrics.accuracy import clustering_accuracy
+    from repro.metrics.ase import average_squared_error
+    from repro.metrics.nmi import normalized_mutual_info
+    from repro.spectral.cluster import SpectralClustering
+
+    X, y = make_blobs(
+        n_samples=n_samples,
+        n_clusters=n_clusters,
+        n_features=n_features,
+        cluster_std=cluster_std,
+        seed=seed,
+    )
+    report = VerificationReport(
+        workload={
+            "n_samples": int(n_samples),
+            "n_clusters": int(n_clusters),
+            "n_features": int(n_features),
+            "cluster_std": float(cluster_std),
+            "seed": int(seed),
+            "n_jobs": int(n_jobs),
+            "n_nodes": int(n_nodes),
+            "validate": bool(validate),
+        },
+    )
+
+    def config(**overrides) -> DASCConfig:
+        return DASCConfig(n_clusters=n_clusters, seed=seed, validate=validate, **overrides)
+
+    # -- 1. serial vs process-pool DASC.fit ---------------------------------
+    serial_model = DASC(config=config(n_jobs=1))
+    serial_labels = serial_model.fit_predict(X)
+
+    def check_serial_vs_parallel():
+        parallel_model = DASC(config=config(n_jobs=max(2, n_jobs)))
+        parallel_labels = parallel_model.fit_predict(X)
+        same_labels = bool(np.array_equal(serial_labels, parallel_labels))
+        same_buckets = bool(
+            np.array_equal(serial_model.buckets_.assignments, parallel_model.buckets_.assignments)
+            and np.array_equal(serial_model.buckets_.signatures, parallel_model.buckets_.signatures)
+        )
+        same_allocation = bool(
+            np.array_equal(serial_model.cluster_allocation_, parallel_model.cluster_allocation_)
+        )
+        return same_labels and same_buckets and same_allocation, {
+            "labels_identical": same_labels,
+            "buckets_identical": same_buckets,
+            "allocation_identical": same_allocation,
+            "n_jobs": max(2, n_jobs),
+        }
+
+    _run_check(report, "dasc.serial_vs_parallel", check_serial_vs_parallel)
+
+    # -- 2. serial vs process-pool DistributedDASC --------------------------
+    def distributed(executor, emr=None, **kwargs):
+        service = emr if emr is not None else ElasticMapReduce(executor=executor)
+        return DistributedDASC(
+            n_nodes=n_nodes, config=config(), emr=service, **kwargs
+        )
+
+    serial_dist = distributed(SerialExecutor()).run(X)
+
+    def check_distributed_serial_vs_parallel():
+        parallel_dist = distributed(ParallelExecutor(max(2, n_jobs))).run(X)
+        same_labels = bool(np.array_equal(serial_dist.labels, parallel_dist.labels))
+        same_counters = _counters_equal(serial_dist.counters, parallel_dist.counters)
+        same_makespan = serial_dist.makespan == parallel_dist.makespan
+        return same_labels and same_counters and same_makespan, {
+            "labels_identical": same_labels,
+            "counters_identical": same_counters,
+            "makespan_identical": same_makespan,
+        }
+
+    _run_check(report, "distributed.serial_vs_parallel", check_distributed_serial_vs_parallel)
+
+    # -- 3. crash-resumed vs uninterrupted ----------------------------------
+    def check_resumed_vs_uninterrupted():
+        emr = ElasticMapReduce(executor=SerialExecutor())
+        dasc = distributed(None, emr=emr)
+        flow_id = dasc.submit(X)
+        emr.run_job_flow(flow_id, max_steps=1)  # "driver crash" after stage 1
+        resumed = dasc.resume(flow_id)
+        same_labels = bool(np.array_equal(serial_dist.labels, resumed.labels))
+        same_counters = _counters_equal(serial_dist.counters, resumed.counters)
+        return same_labels and same_counters and bool(resumed.resumed_steps), {
+            "labels_identical": same_labels,
+            "counters_identical": same_counters,
+            "resumed_steps": list(resumed.resumed_steps),
+        }
+
+    _run_check(report, "distributed.resumed_vs_uninterrupted", check_resumed_vs_uninterrupted)
+
+    # -- 4. local DASC.fit vs MapReduce DistributedDASC ---------------------
+    def check_local_vs_distributed():
+        identical = partitions_equal(serial_labels, serial_dist.labels)
+        nmi = float(normalized_mutual_info(serial_labels, serial_dist.labels))
+        return nmi >= nmi_min, {
+            "partitions_identical": bool(identical),
+            "nmi": nmi,
+            "nmi_min": nmi_min,
+        }
+
+    _run_check(report, "dasc.local_vs_distributed", check_local_vs_distributed)
+
+    # -- 5. DASC vs exact spectral clustering (Section 5.3) ------------------
+    def check_vs_exact_sc():
+        sigma = serial_model.sigma_ or 1.0
+        exact = SpectralClustering(n_clusters, sigma=sigma, seed=seed).fit_predict(X)
+        ase_dasc = float(average_squared_error(X, serial_labels))
+        ase_exact = float(average_squared_error(X, exact))
+        nmi_truth = float(normalized_mutual_info(y, serial_labels))
+        acc_truth = float(clustering_accuracy(y, serial_labels))
+        ase_gate = ase_dasc <= ase_exact * (1.0 + ase_rel_tol) + 1e-12
+        return ase_gate and nmi_truth >= nmi_min and acc_truth >= acc_min, {
+            "ase_dasc": ase_dasc,
+            "ase_exact_sc": ase_exact,
+            "ase_rel_tol": ase_rel_tol,
+            "nmi_vs_truth": nmi_truth,
+            "accuracy_vs_truth": acc_truth,
+            "nmi_min": nmi_min,
+            "accuracy_min": acc_min,
+        }
+
+    _run_check(report, "quality.dasc_vs_exact_sc", check_vs_exact_sc)
+
+    return report
+
+
+def render_verification_report(report: VerificationReport) -> str:
+    """Human-readable report (what ``repro verify`` prints)."""
+    w = report.workload
+    lines = [
+        "differential verification "
+        f"(n={w.get('n_samples')}, k={w.get('n_clusters')}, d={w.get('n_features')}, "
+        f"seed={w.get('seed')}, validate={'on' if w.get('validate') else 'off'})",
+        "",
+    ]
+    for check in report.checks:
+        status = "PASS" if check.passed else "FAIL"
+        detail = ", ".join(
+            f"{key}={_fmt(value)}" for key, value in sorted(check.details.items())
+        )
+        lines.append(f"  {status}  {check.name}" + (f"  [{detail}]" if detail else ""))
+    lines.append("")
+    lines.append(
+        f"{sum(c.passed for c in report.checks)}/{len(report.checks)} checks passed"
+        + ("" if report.passed else "  — VERIFICATION FAILED")
+    )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

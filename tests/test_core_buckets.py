@@ -89,6 +89,26 @@ class TestMergeBuckets:
         with pytest.raises(ValueError):
             merge_buckets(b, 1, strategy="bogus")
 
+    def test_star_tie_break_is_lowest_id(self):
+        # All three buckets have size 1 (a full tie). The documented rule is
+        # lowest bucket id first, so 00 leads and absorbs its one-bit
+        # neighbour 01 before 11 gets a chance to. Regression: reversing an
+        # ascending stable argsort visited ties highest-id-first, silently
+        # gluing 01 onto 11 instead.
+        b = make_buckets([0b00, 0b01, 0b11], 2)
+        merged = merge_buckets(b, 1, strategy="star")
+        assert merged.signatures.tolist() == [0b00, 0b11]
+        assert merged.assignments.tolist() == [0, 0, 1]
+
+    def test_star_tie_break_among_equal_large_buckets(self):
+        # Two size-2 leaders tie; 01 is one bit from both. Lowest id (00)
+        # must win the claim regardless of input ordering quirks.
+        b = make_buckets([0b11, 0b11, 0b00, 0b00, 0b01], 2)
+        merged = merge_buckets(b, 1, strategy="star")
+        assert merged.signatures.tolist() == [0b00, 0b11]
+        # point with signature 01 (last) grouped with the 00 leader
+        assert merged.assignments.tolist() == [1, 1, 0, 0, 0]
+
     @given(st.lists(st.integers(0, 15), min_size=1, max_size=40), st.integers(2, 4))
     @settings(max_examples=50, deadline=None)
     def test_merged_is_coarsening(self, sigs, p):
@@ -173,7 +193,8 @@ class TestVectorizedMergeRegression:
             return np.array([find(b) for b in range(n)], dtype=np.int64)
         # star
         sizes = buckets.sizes
-        order = np.argsort(sizes, kind="stable")[::-1]
+        # largest first, ties lowest bucket id first (the documented rule)
+        order = np.argsort(-sizes, kind="stable")
         groups = np.full(n, -1, dtype=np.int64)
         for b in order:
             if groups[b] != -1:

@@ -28,6 +28,20 @@ class TestFit:
         b = DASC(4, seed=5).fit_predict(X)
         assert np.array_equal(a, b)
 
+    def test_nonfinite_input_rejected_with_column(self, blobs_small):
+        X, _ = blobs_small
+        X = X.copy()
+        X[7, 3] = np.nan
+        with pytest.raises(ValueError, match=r"non-finite.*column\(s\) \[3\]"):
+            DASC(4, seed=0).fit(X)
+
+    def test_inf_input_rejected(self, blobs_small):
+        X, _ = blobs_small
+        X = X.copy()
+        X[0, 0] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            DASC(4, seed=0).fit(X)
+
     def test_defaults_resolved_from_data(self, blobs_small):
         X, _ = blobs_small
         dasc = DASC(seed=0).fit(X)  # no explicit K or M

@@ -53,6 +53,30 @@ class TestValleyThreshold:
     def test_constant_dimension(self):
         assert histogram_valley_threshold(np.full(10, 3.5)) == 3.5
 
+    def test_left_skewed_bin0_minimum_does_not_degenerate(self):
+        # Left-skewed column: a lone point at the minimum makes bin 0 the
+        # least-populated bin (count 1), every other bin holds >= 2 points
+        # with a genuine valley at bin 10. Regression: taking bin 0 puts the
+        # threshold AT the column minimum, so the resulting Algorithm-1 bit
+        # (x <= tau) is 1 only for the exact minima — a wasted signature bit.
+        width = 1.0 / 20
+        parts = [np.array([0.0, 1.0])]  # pin lo=0, hi=1 (1.0 joins bin 19)
+        for i in range(1, 20):
+            count = 2 if i == 10 else 4
+            parts.append(np.full(count, (i + 0.4) * width))
+        values = np.concatenate(parts)
+        tau = histogram_valley_threshold(values)
+        # fall back to the least-populated interior bin: lower edge of bin 10
+        assert tau == pytest.approx(10 * width)
+        assert tau > values.min()
+        # the induced bit actually splits the data
+        below = int((values <= tau).sum())
+        assert 0 < below < values.size
+
+    def test_single_bin_keeps_lower_edge(self):
+        values = np.array([0.0, 0.2, 0.9])
+        assert histogram_valley_threshold(values, n_bins=1) == 0.0
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             histogram_valley_threshold(np.array([]))
@@ -131,6 +155,14 @@ class TestAxisParallelHasher:
     def test_invalid_config(self, kwargs):
         with pytest.raises(ValueError):
             AxisParallelHasher(**kwargs)
+
+    def test_nonfinite_data_rejected_at_fit(self, blobs_small):
+        X, _ = blobs_small
+        X = X.copy()
+        X[5, 2] = np.nan
+        hasher = AxisParallelHasher(4, seed=0)
+        with pytest.raises(ValueError, match=r"non-finite.*column\(s\) \[2\]"):
+            hasher.fit(X)
 
     def test_constant_data_hashes_identically(self):
         X = np.ones((20, 5))

@@ -1,0 +1,101 @@
+"""Property-based checks: bucket operations always produce true partitions.
+
+Randomized (but seeded, via hypothesis) signature sets exercise
+``group_by_signature`` / ``merge_buckets`` / ``fold_small_buckets`` far off
+the blob-shaped happy path: duplicate-heavy sets, dense hypercube corners,
+single-signature sets. Two families of properties:
+
+* every result is a valid :class:`Buckets` partition (delegated to the
+  ``repro.verify`` invariant checks, which double-checks those too);
+* ``merge_buckets`` and ``fold_small_buckets`` are idempotent — their
+  output is a fixed point, because surviving representatives are pairwise
+  non-mergeable (resp. all surviving buckets meet ``min_size``).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buckets import fold_small_buckets, group_by_signature, merge_buckets
+from repro.verify import check_buckets
+
+N_BITS = 8
+
+signature_lists = st.lists(
+    st.integers(min_value=0, max_value=2**N_BITS - 1), min_size=1, max_size=64
+)
+
+
+def _buckets(raw):
+    return group_by_signature(np.array(raw, dtype=np.uint64), N_BITS)
+
+
+def _same(a, b) -> bool:
+    return np.array_equal(a.assignments, b.assignments) and np.array_equal(
+        a.signatures, b.signatures
+    )
+
+
+class TestPartitionProperties:
+    @given(signature_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_group_by_signature_is_partition(self, raw):
+        sigs = np.array(raw, dtype=np.uint64)
+        buckets = _buckets(raw)
+        check_buckets(buckets, len(raw), point_signatures=sigs, stage="property")
+        # grouping is exact: same signature <=> same bucket
+        assert np.array_equal(buckets.signatures[buckets.assignments], sigs)
+
+    @given(signature_lists, st.integers(0, N_BITS),
+           st.sampled_from(["star", "transitive"]))
+    @settings(max_examples=80, deadline=None)
+    def test_merge_preserves_partition(self, raw, min_shared, strategy):
+        sigs = np.array(raw, dtype=np.uint64)
+        merged = merge_buckets(_buckets(raw), min_shared, strategy=strategy)
+        check_buckets(merged, len(raw), point_signatures=sigs, stage="property")
+        assert merged.n_buckets <= _buckets(raw).n_buckets
+
+    @given(signature_lists, st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_fold_preserves_partition(self, raw, min_size):
+        sigs = np.array(raw, dtype=np.uint64)
+        folded = fold_small_buckets(_buckets(raw), min_size)
+        check_buckets(folded, len(raw), point_signatures=sigs, stage="property")
+
+    @given(signature_lists, st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_fold_enforces_min_size(self, raw, min_size):
+        folded = fold_small_buckets(_buckets(raw), min_size)
+        if folded.n_buckets > 1:
+            assert int(folded.sizes.min()) >= min_size
+
+
+class TestIdempotence:
+    @given(signature_lists, st.integers(0, N_BITS),
+           st.sampled_from(["star", "transitive"]))
+    @settings(max_examples=80, deadline=None)
+    def test_merge_is_idempotent(self, raw, min_shared, strategy):
+        once = merge_buckets(_buckets(raw), min_shared, strategy=strategy)
+        twice = merge_buckets(once, min_shared, strategy=strategy)
+        assert _same(once, twice)
+
+    @given(signature_lists, st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_fold_is_idempotent(self, raw, min_size):
+        once = fold_small_buckets(_buckets(raw), min_size)
+        twice = fold_small_buckets(once, min_size)
+        assert _same(once, twice)
+
+    @given(signature_lists, st.integers(0, N_BITS), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_then_fold_fixed_point(self, raw, min_shared, min_size):
+        # the full partition() post-processing chain is itself a fixed point
+        sigs = np.array(raw, dtype=np.uint64)
+        once = fold_small_buckets(
+            merge_buckets(_buckets(raw), min_shared, strategy="star"), min_size
+        )
+        twice = fold_small_buckets(
+            merge_buckets(once, min_shared, strategy="star"), min_size
+        )
+        assert _same(once, twice)
+        check_buckets(once, len(raw), point_signatures=sigs, stage="property")

@@ -152,6 +152,26 @@ class TestValidation:
         with pytest.raises(ValueError, match="non-finite"):
             check_2d([[1.0, np.nan]])
 
+    def test_check_2d_names_offending_columns(self):
+        X = np.ones((4, 5))
+        X[1, 2] = np.nan
+        X[3, 4] = np.inf
+        with pytest.raises(ValueError, match=r"column\(s\) \[2, 4\]"):
+            check_2d(X)
+
+    def test_check_2d_truncates_long_column_lists(self):
+        X = np.full((2, 12), np.nan)
+        with pytest.raises(ValueError, match=r"\[0, 1, 2, 3, 4, 5, 6, 7, \.\.\.\]"):
+            check_2d(X)
+
+    def test_check_2d_uses_caller_name(self):
+        with pytest.raises(ValueError, match="features contains"):
+            check_2d([[np.inf]], name="features")
+
+    def test_check_2d_ensure_finite_off(self):
+        out = check_2d([[np.nan, 1.0]], ensure_finite=False)
+        assert np.isnan(out[0, 0])
+
     def test_check_square(self):
         assert check_square(np.eye(3)).shape == (3, 3)
         with pytest.raises(ValueError):
