@@ -15,6 +15,11 @@ Three subcommands cover the common workflows:
   MapReduce DASC, and crash-resumed vs uninterrupted job flows
   (bit-identical labels/counters), plus DASC-vs-exact-SC quality gates
   (Section 5.3), with stage-boundary invariant checks armed.
+* ``repro chaos`` — the storage-fault smoke drill: the distributed driver
+  under a seeded :class:`~repro.mapreduce.storage.ChaosStore` schedule
+  (throttling, torn writes, bit flips) must match the fault-free run
+  bit-for-bit, and a corrupted checkpoint must quarantine and resume
+  cleanly; ``--trace`` records the run for ``repro trace report``.
 
 Installed as ``python -m repro.cli ...`` (no console-script entry point is
 registered so that offline ``setup.py develop`` installs stay simple).
@@ -103,6 +108,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument(
         "--json", default=None, metavar="FILE",
         help="also write the report as JSON ('-': stdout)",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="storage-fault smoke drill: seeded ChaosStore schedule over the distributed driver",
+    )
+    p_chaos.add_argument("-n", "--n-samples", type=int, default=400)
+    p_chaos.add_argument("-k", "--n-clusters", type=int, default=4)
+    p_chaos.add_argument("-d", "--n-features", type=int, default=16)
+    p_chaos.add_argument("--seed", type=int, default=0, help="workload/model seed")
+    p_chaos.add_argument("--n-nodes", type=int, default=4, help="simulated cluster size")
+    p_chaos.add_argument(
+        "--error-rate", type=float, default=0.1,
+        help="per-request transient InternalError probability",
+    )
+    p_chaos.add_argument(
+        "--throttle-rate", type=float, default=0.05,
+        help="per-request SlowDown throttling probability",
+    )
+    p_chaos.add_argument(
+        "--torn-rate", type=float, default=0.1,
+        help="probability a stored payload lands truncated",
+    )
+    p_chaos.add_argument(
+        "--corrupt-rate", type=float, default=0.05,
+        help="probability a stored payload lands with a flipped bit",
+    )
+    p_chaos.add_argument("--storage-seed", type=int, default=7, help="fault-schedule seed")
+    p_chaos.add_argument(
+        "--max-attempts", type=int, default=16,
+        help="retry budget of the hardened storage client",
+    )
+    p_chaos.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a JSON-lines trace incl. the storage fault ledger",
     )
 
     p_trace = sub.add_parser("trace", help="inspect recorded traces")
@@ -251,6 +291,85 @@ def _cmd_verify(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_chaos(args) -> int:
+    import contextlib
+
+    from repro.core.config import DASCConfig
+    from repro.dasc_mr.driver import DistributedDASC
+    from repro.data.synthetic import make_blobs
+    from repro.mapreduce import ChaosStore, ElasticMapReduce, RetryPolicy, StorageFaultPolicy
+    from repro.observability import trace_to
+
+    X, _ = make_blobs(
+        n_samples=args.n_samples, n_clusters=args.n_clusters,
+        n_features=args.n_features, seed=args.seed,
+    )
+
+    def config() -> DASCConfig:
+        return DASCConfig(n_clusters=args.n_clusters, seed=args.seed)
+
+    clean = DistributedDASC(n_nodes=args.n_nodes, config=config()).run(X)
+    policy = StorageFaultPolicy(
+        error_rate=args.error_rate,
+        throttle_rate=args.throttle_rate,
+        torn_write_rate=args.torn_rate,
+        corrupt_rate=args.corrupt_rate,
+        latency=(0.001, 0.01),
+        seed=args.storage_seed,
+    )
+    retry = RetryPolicy(max_attempts=args.max_attempts, deadline=300.0, seed=args.storage_seed)
+    scope = trace_to(args.trace) if args.trace else contextlib.nullcontext()
+    with scope as tracer:
+        if tracer is not None:
+            tracer.meta(
+                command="chaos", n_points=int(X.shape[0]), n_nodes=args.n_nodes,
+                error_rate=args.error_rate, throttle_rate=args.throttle_rate,
+                torn_rate=args.torn_rate, corrupt_rate=args.corrupt_rate,
+                storage_seed=args.storage_seed,
+            )
+        # Drill 1: the full flow under the seeded fault schedule.
+        store = ChaosStore(policy=policy)
+        emr = ElasticMapReduce(store=store, retry=retry)
+        chaotic = DistributedDASC(n_nodes=args.n_nodes, config=config(), emr=emr).run(X)
+
+        # Drill 2: driver crash + a corrupted last checkpoint; the resume
+        # must quarantine it and still converge.
+        emr2 = ElasticMapReduce()
+        dasc2 = DistributedDASC(n_nodes=args.n_nodes, config=config(), emr=emr2)
+        flow_id = dasc2.submit(X)
+        emr2.run_job_flow(flow_id, max_steps=2)
+        key = f"{flow_id}/checkpoints/step-000"
+        damaged = bytearray(emr2.s3.get(key))
+        damaged[len(damaged) // 2] ^= 0xFF
+        emr2.s3.put(key, bytes(damaged))
+        resumed = dasc2.resume(flow_id)
+        quarantined = emr2.s3.exists(key + ".corrupt")
+
+    checks = {
+        "chaos_labels_identical": bool(np.array_equal(clean.labels, chaotic.labels)),
+        "chaos_counters_identical": clean.counters == chaotic.counters,
+        "chaos_makespan_identical": clean.makespan == chaotic.makespan,
+        "resume_labels_identical": bool(np.array_equal(clean.labels, resumed.labels)),
+        "corrupt_checkpoint_quarantined": bool(quarantined),
+    }
+    print(
+        f"storage chaos drill (n={X.shape[0]}, n_nodes={args.n_nodes}, "
+        f"storage_seed={args.storage_seed})",
+        file=sys.stdout,
+    )
+    for name, passed in checks.items():
+        print(f"  {'PASS' if passed else 'FAIL'}  {name}", file=sys.stdout)
+    injected = ", ".join(f"{k}×{v}" for k, v in sorted(store.injected.items())) or "none"
+    print(
+        f"  injected faults: {injected}; simulated latency "
+        f"{store.simulated_latency:.3f}s; retry backoff {emr.storage.backoff_total:.3f}s",
+        file=sys.stdout,
+    )
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    return 0 if all(checks.values()) else 1
+
+
 def _cmd_trace(args) -> int:
     from repro.observability import read_trace, render_trace_report
 
@@ -279,6 +398,8 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return _cmd_analyze(args)
 
 

@@ -22,6 +22,14 @@ per-attempt task retries, node-loss re-execution, speculative backups
 (see :mod:`repro.mapreduce.faults`), nearest-neighbour repair for any
 unlabelled point, and a structured
 :class:`~repro.mapreduce.job.JobFlowError` when retries are exhausted.
+
+The storage boundary is hardened the same way: driver artifacts (the
+uploaded input, the collected labels) and every job-flow checkpoint travel
+through the :class:`~repro.mapreduce.storage.ResilientStore` client, so
+transient S3 faults retry with seeded backoff, torn or bit-flipped
+checkpoints are quarantined and their steps re-executed, and an
+unsurvivable storage-fault schedule surfaces as a structured
+:class:`~repro.mapreduce.storage.StorageError` — never a bare ``KeyError``.
 """
 
 from __future__ import annotations
@@ -209,8 +217,9 @@ class DistributedDASC:
         ).fit(X)
 
         flow_id, flow = self.emr.create_job_flow(self.n_nodes, split_size=self.split_size)
-        # "Upload to S3": the input dataset as (index, vector) records.
-        self.emr.s3.put(f"{flow_id}/input", X)
+        # "Upload to S3" through the hardened client: the write is
+        # checksummed, atomic, and retried under transient storage faults.
+        self.emr.storage.put(f"{flow_id}/input", X)
         flow.fs.write("input", [(i, X[i]) for i in range(n)], split_size=self.split_size)
 
         # Step 1: LSH partitioning (Algorithm 1, map-only).
@@ -278,7 +287,7 @@ class DistributedDASC:
         for idx, lab in label_records:
             labels[idx] = lab
         labels, n_repaired = self._validate_and_repair(flow_id, labels)
-        self.emr.s3.put(f"{flow_id}/output/labels", labels)
+        self.emr.storage.put(f"{flow_id}/output/labels", labels)
         self.emr.terminate(flow_id)
 
         buckets = state["buckets"]
@@ -387,7 +396,7 @@ class DistributedDASC:
             raise RuntimeError(
                 f"flow {flow_id} produced no labels at all; nothing to repair from"
             )
-        X = np.asarray(self.emr.s3.get(f"{flow_id}/input"), dtype=np.float64)
+        X = np.asarray(self.emr.storage.get(f"{flow_id}/input"), dtype=np.float64)
         labelled = np.flatnonzero(labels >= 0)
         for i in unlabelled:
             d2 = np.sum((X[labelled] - X[i]) ** 2, axis=1)

@@ -13,6 +13,10 @@ deployment story needs:
   quantity of Table 3),
 * :mod:`repro.mapreduce.emr` — an Elastic-MapReduce-like service: an
   S3-like object store plus job flows of steps,
+* :mod:`repro.mapreduce.storage` — the storage plane: the object store,
+  the :class:`ChaosStore` fault injector, and the hardened
+  :class:`ResilientStore` client (checksummed envelopes, atomic writes,
+  seeded retries, quarantine),
 * :mod:`repro.mapreduce.counters` — Hadoop-style counters,
 * :mod:`repro.mapreduce.executor` — serial / process-pool execution
   backends for real-core task parallelism (``REPRO_N_JOBS``).
@@ -30,7 +34,20 @@ from repro.mapreduce.executor import (
     effective_n_jobs,
     resolve_executor,
 )
-from repro.mapreduce.hdfs import SimulatedHDFS, FileSplit
+from repro.mapreduce.hdfs import SimulatedHDFS, FileSplit, ReplicaUnavailableError
+from repro.mapreduce.storage import (
+    StorageError,
+    NoSuchKeyError,
+    TransientStorageError,
+    CorruptObjectError,
+    StorageDeadlineError,
+    StorageFaultPolicy,
+    ChaosStore,
+    RetryPolicy,
+    ResilientStore,
+    pack_envelope,
+    unpack_envelope,
+)
 from repro.mapreduce.cluster import (
     NodeConfig,
     EMR_NODE_CONFIG,
@@ -66,6 +83,18 @@ __all__ = [
     "default_executor",
     "SimulatedHDFS",
     "FileSplit",
+    "ReplicaUnavailableError",
+    "StorageError",
+    "NoSuchKeyError",
+    "TransientStorageError",
+    "CorruptObjectError",
+    "StorageDeadlineError",
+    "StorageFaultPolicy",
+    "ChaosStore",
+    "RetryPolicy",
+    "ResilientStore",
+    "pack_envelope",
+    "unpack_envelope",
     "NodeConfig",
     "EMR_NODE_CONFIG",
     "TABLE2_DEFAULTS",

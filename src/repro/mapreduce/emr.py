@@ -10,41 +10,15 @@ paper's Table 3, which reports processing time).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mapreduce.cluster import EMR_NODE_CONFIG, NodeConfig, SimulatedCluster
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.hdfs import SimulatedHDFS
 from repro.mapreduce.job import JobFlow
+from repro.mapreduce.storage import ResilientStore, RetryPolicy, S3Store
 
 __all__ = ["S3Store", "ElasticMapReduce"]
-
-
-class S3Store:
-    """A flat object store: bucket/key -> object (any Python value)."""
-
-    def __init__(self):
-        self._objects: dict[str, object] = {}
-
-    def put(self, key: str, obj: object) -> None:
-        """Store an object (overwrite allowed — S3 semantics)."""
-        self._objects[key] = obj
-
-    def get(self, key: str) -> object:
-        """Fetch an object (KeyError if absent)."""
-        return self._objects[key]
-
-    def exists(self, key: str) -> bool:
-        """Whether the key is present."""
-        return key in self._objects
-
-    def list_keys(self, prefix: str = "") -> list[str]:
-        """All keys under a prefix, sorted."""
-        return sorted(k for k in self._objects if k.startswith(prefix))
-
-    def delete(self, key: str) -> None:
-        """Remove an object (KeyError if absent)."""
-        del self._objects[key]
 
 
 @dataclass
@@ -56,10 +30,36 @@ class _ProvisionedFlow:
 
 
 class ElasticMapReduce:
-    """The EMR front-end: provision job flows against shared S3 storage."""
+    """The EMR front-end: provision job flows against shared S3 storage.
 
-    def __init__(self, *, node_config: NodeConfig = EMR_NODE_CONFIG, executor=None):
-        self.s3 = S3Store()
+    Parameters
+    ----------
+    node_config:
+        Per-node resources of provisioned clusters (Table 2 defaults).
+    executor:
+        Task-compute backend shared by provisioned engines (``None``: each
+        engine resolves from ``REPRO_N_JOBS``).
+    store:
+        The raw object store backing the service (``None``: a fresh
+        :class:`S3Store`). Pass a
+        :class:`~repro.mapreduce.storage.ChaosStore` to run the whole
+        storage plane under an injected fault schedule.
+    retry:
+        Backoff/deadline policy for :attr:`storage`, the hardened
+        :class:`~repro.mapreduce.storage.ResilientStore` client every
+        driver artifact and job-flow checkpoint goes through.
+    """
+
+    def __init__(
+        self,
+        *,
+        node_config: NodeConfig = EMR_NODE_CONFIG,
+        executor=None,
+        store=None,
+        retry: RetryPolicy | None = None,
+    ):
+        self.s3 = store if store is not None else S3Store()
+        self.storage = ResilientStore.wrap(self.s3, retry=retry)
         self.node_config = node_config
         self.executor = executor  # None: each engine resolves from REPRO_N_JOBS
         self._flows: dict[str, _ProvisionedFlow] = {}
@@ -83,7 +83,7 @@ class ElasticMapReduce:
             fs=SimulatedHDFS(
                 n_nodes, replication=self.node_config.replication, default_split_size=split_size
             ),
-            checkpoint_store=self.s3 if checkpoint else None,
+            checkpoint_store=self.storage if checkpoint else None,
             checkpoint_prefix=f"{flow_id}/checkpoints",
         )
         self._next_id += 1

@@ -21,6 +21,14 @@ deterministic functions of their input splits, *outputs never change* under
 any failure schedule that stays below the attempt cap — only the simulated
 makespan and the ``faults`` counter group do. The chaos test-suite asserts
 exactly this equivalence.
+
+The *storage* plane has the same treatment in
+:mod:`repro.mapreduce.storage`: :class:`StorageFaultPolicy` /
+:class:`ChaosStore` inject throttling, torn writes, bit flips, and read
+outages in front of any object store, and the hardened
+:class:`~repro.mapreduce.storage.ResilientStore` client absorbs every
+survivable schedule. Both are re-exported here so one import covers the
+full chaos vocabulary.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from dataclasses import dataclass
 from repro.mapreduce.cluster import PhaseTask, SimulatedCluster, SpeculationConfig
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.engine import MapReduceEngine, MapTaskResult, TaskContext
+from repro.mapreduce.storage import ChaosStore, StorageFaultPolicy
 from repro.mapreduce.types import JobSpec
 from repro.observability import get_tracer
 from repro.utils.rng import as_rng
@@ -40,6 +49,8 @@ __all__ = [
     "StragglerPolicy",
     "FaultyEngine",
     "TaskFailedError",
+    "StorageFaultPolicy",
+    "ChaosStore",
 ]
 
 

@@ -5,13 +5,38 @@ parallelism, exactly as in Hadoop. Replication places each split on
 ``replication`` distinct nodes round-robin (Table 2's DFS replication ratio
 is 3), and the scheduler can ask where a split lives to account for data
 locality.
+
+Datanodes can be marked dead (:meth:`SimulatedHDFS.mark_dead`): reads then
+fail over to the surviving replicas of each split — new writes avoid dead
+nodes — and only when *every* replica of some split is gone does a read
+surface a structured :class:`ReplicaUnavailableError`, never a silent
+wrong answer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["FileSplit", "SimulatedHDFS"]
+from repro.mapreduce.storage import StorageError
+
+__all__ = ["FileSplit", "SimulatedHDFS", "ReplicaUnavailableError"]
+
+
+class ReplicaUnavailableError(StorageError):
+    """Every replica of a split lives on a dead datanode.
+
+    Carries the path, split index, and the (dead) placement nodes so the
+    operator can see exactly which failures compounded.
+    """
+
+    def __init__(self, path: str, split_index: int, placements: tuple):
+        super().__init__(
+            f"all replicas of {path!r} split {split_index} are on dead nodes "
+            f"{sorted(placements)}"
+        )
+        self.path = path
+        self.split_index = split_index
+        self.placements = tuple(placements)
 
 
 @dataclass(frozen=True)
@@ -63,6 +88,30 @@ class SimulatedHDFS:
         self.default_split_size = int(default_split_size)
         self._files: dict[str, _StoredFile] = {}
         self._next_node = 0
+        self._dead: set[int] = set()
+
+    # -- datanode liveness -------------------------------------------------
+
+    @property
+    def dead_nodes(self) -> frozenset:
+        """Datanodes currently marked dead."""
+        return frozenset(self._dead)
+
+    def mark_dead(self, *nodes: int) -> None:
+        """Mark datanodes dead: reads fail over to surviving replicas and
+        new writes avoid them. At least one node must stay alive."""
+        dead = self._dead | {int(n) % self.n_nodes for n in nodes}
+        if len(dead) >= self.n_nodes:
+            raise ValueError("cannot mark every datanode dead")
+        self._dead = dead
+
+    def mark_alive(self, *nodes: int) -> None:
+        """Bring datanodes back (idempotent); their replicas become readable
+        again — simulated blocks survive a temporary outage."""
+        self._dead -= {int(n) % self.n_nodes for n in nodes}
+
+    def _live_replicas(self, placements: tuple) -> tuple:
+        return tuple(n for n in placements if n not in self._dead)
 
     # -- writes ------------------------------------------------------------
 
@@ -82,9 +131,11 @@ class SimulatedHDFS:
             raise ValueError(f"split_size must be >= 1, got {size}")
         stored = _StoredFile(records=list(records), split_size=size)
         n_splits = max(1, -(-len(stored.records) // size))
+        live = [n for n in range(self.n_nodes) if n not in self._dead]
+        replication = min(self.replication, len(live))
         for s in range(n_splits):
             nodes = tuple(
-                (self._next_node + r) % self.n_nodes for r in range(self.replication)
+                live[(self._next_node + r) % len(live)] for r in range(replication)
             )
             stored.placements[s] = nodes
             self._next_node = (self._next_node + 1) % self.n_nodes
@@ -105,24 +156,43 @@ class SimulatedHDFS:
         return sorted(self._files)
 
     def read(self, path: str) -> list:
-        """All records of a file, in write order."""
-        return list(self._files[path].records)
+        """All records of a file, in write order.
+
+        Each split is served by any *live* replica; a split whose replicas
+        are all on dead nodes raises :class:`ReplicaUnavailableError`.
+        """
+        stored = self._files[path]
+        for s in sorted(stored.placements):
+            if not self._live_replicas(stored.placements[s]):
+                raise ReplicaUnavailableError(path, s, stored.placements[s])
+        return list(stored.records)
 
     def splits(self, path: str) -> list[FileSplit]:
-        """The file's input splits (the unit of map parallelism)."""
+        """The file's input splits (the unit of map parallelism).
+
+        ``preferred_nodes`` fails over to the surviving replicas of each
+        split when placement nodes are dead; a split with no live replica
+        raises :class:`ReplicaUnavailableError`.
+        """
         stored = self._files[path]
         size = stored.split_size
         out = []
         for s in sorted(stored.placements):
+            live = self._live_replicas(stored.placements[s])
+            if not live:
+                raise ReplicaUnavailableError(path, s, stored.placements[s])
             chunk = tuple(stored.records[s * size : (s + 1) * size])
             out.append(
                 FileSplit(
                     path=path, index=s, records=chunk,
-                    preferred_nodes=stored.placements[s],
+                    preferred_nodes=live,
                 )
             )
         return out
 
     def locations(self, path: str, split_index: int) -> tuple[int, ...]:
-        """Node ids holding a replica of the given split."""
-        return self._files[path].placements[split_index]
+        """Node ids holding a *live* replica of the given split (all
+        placements when no datanode is marked dead)."""
+        placements = self._files[path].placements[split_index]
+        live = self._live_replicas(placements)
+        return live if live else placements

@@ -13,6 +13,15 @@ them. Driver-side action steps are deterministic and cheap, so they re-run
 on resume. A step whose tasks exhaust their retry budget surfaces as a
 structured :class:`JobFlowError` carrying the failed step and its partial
 counters.
+
+Checkpoint I/O goes through the hardened
+:class:`~repro.mapreduce.storage.ResilientStore` client (a raw store passed
+as ``checkpoint_store`` is wrapped automatically): every checkpoint is a
+checksummed envelope written atomically, transient storage faults retry
+with seeded backoff, and a checkpoint found torn or corrupted on resume is
+*quarantined* (moved to ``<key>.corrupt``) and its step deterministically
+re-executed — earlier steps still restore from their own good checkpoints,
+so a damaged last checkpoint costs exactly one step of recomputation.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from typing import Callable
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.engine import JobResult, MapReduceEngine
 from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.storage import CorruptObjectError, ResilientStore
 from repro.mapreduce.types import JobSpec
 from repro.observability import get_tracer
 
@@ -90,7 +100,10 @@ class JobFlow:
     checkpoint_store:
         Optional S3-like object store (``put/get/exists``); when set, each
         completed job step's output is persisted so the flow can be resumed
-        after a driver crash.
+        after a driver crash. A raw store is wrapped in a
+        :class:`~repro.mapreduce.storage.ResilientStore` (checksummed
+        envelopes, atomic writes, seeded retries); pass a pre-built
+        resilient client to control its retry policy.
     checkpoint_prefix:
         Key prefix for this flow's checkpoints in the store.
     restored_steps:
@@ -170,19 +183,46 @@ class JobFlow:
     def _checkpoint_key(self, index: int) -> str:
         return f"{self.checkpoint_prefix}/step-{index:03d}"
 
+    def _checkpoint_client(self) -> ResilientStore | None:
+        """The hardened client over ``checkpoint_store`` (cached per store)."""
+        store = self.checkpoint_store
+        if store is None:
+            return None
+        if isinstance(store, ResilientStore):
+            return store
+        cached = getattr(self, "_ckpt_client", None)
+        if cached is None or cached.inner is not store:
+            cached = ResilientStore(store)
+            self._ckpt_client = cached
+        return cached
+
     def _run_job_step(self, step: JobFlowStep, index: int, resume: bool) -> JobResult:
         tracer = get_tracer()
         key = self._checkpoint_key(index)
+        store = self._checkpoint_client()
         with tracer.span("jobflow.step", step=step.name, index=index) as step_span:
-            if resume and self.checkpoint_store is not None and self.checkpoint_store.exists(key):
-                result = self._restore(step, self.checkpoint_store.get(key))
-                self.restored_steps.append(index)
-                step_span.set("from_checkpoint", True)
-                tracer.event(
-                    "jobflow.restore",
-                    step=step.name, index=index, key=key, n_records=len(result.output),
-                )
-                return result
+            reexecuting_corrupt = False
+            if resume and store is not None and store.exists(key):
+                try:
+                    payload = store.get(key)
+                except CorruptObjectError as exc:
+                    # The checkpoint is torn or bit-flipped (the client
+                    # already emitted storage.corruption): move it aside for
+                    # post-mortem and fall back to re-executing the step
+                    # (earlier steps already restored from good checkpoints).
+                    quarantine_key = store.quarantine(key)
+                    reexecuting_corrupt = True
+                    step_span.set("checkpoint_quarantined", quarantine_key)
+                    step_span.set("corrupt_reason", exc.reason)
+                else:
+                    result = self._restore(step, payload)
+                    self.restored_steps.append(index)
+                    step_span.set("from_checkpoint", True)
+                    tracer.event(
+                        "jobflow.restore",
+                        step=step.name, index=index, key=key, n_records=len(result.output),
+                    )
+                    return result
             try:
                 # On resume the output may already exist from the crashed run;
                 # Hadoop semantics are delete-then-rerun.
@@ -194,8 +234,15 @@ class JobFlow:
                     step_index=index,
                     counters=getattr(exc, "counters", None),
                 ) from exc
-            if self.checkpoint_store is not None:
-                self.checkpoint_store.put(
+            if reexecuting_corrupt:
+                # The recomputation charged to recover from the damaged
+                # checkpoint, itemized in the fault ledger as wasted cost.
+                tracer.event(
+                    "fault.checkpoint_reexecuted",
+                    step=step.name, index=index, key=key, wasted_cost=result.makespan,
+                )
+            if store is not None:
+                store.put(
                     key,
                     {
                         "step_name": step.name,

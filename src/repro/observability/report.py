@@ -54,11 +54,16 @@ def fault_summary(records: list[dict]) -> dict:
     """Itemize fault events and total their wasted time.
 
     Every ``fault.*`` event (task retries, node failures, speculative
-    attempts) appears in ``items`` verbatim; ``wasted_cost`` sums whatever
-    cost each event reports as thrown-away work.
+    attempts) and every ``storage.*`` event (retries with their backoff
+    time, corruption detections, quarantines) appears in ``items``
+    verbatim; ``wasted_cost`` sums whatever cost each event reports as
+    thrown-away work — for a storage retry, the backoff delay it burned.
     """
     items = [
-        r for r in records if r.get("type") == "event" and str(r.get("name", "")).startswith("fault.")
+        r
+        for r in records
+        if r.get("type") == "event"
+        and str(r.get("name", "")).startswith(("fault.", "storage."))
     ]
     by_kind: dict[str, int] = {}
     wasted = 0.0

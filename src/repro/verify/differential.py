@@ -17,7 +17,12 @@ synthetic workload (the shape of the paper's Section-5.3 comparison):
    agree as partitions (identical up to relabelling; gated on NMI);
 5. **DASC vs exact SC** — the Section-5.3 quality claim: on
    block-structured data, DASC's ASE stays within a tolerance of exact
-   spectral clustering's and NMI against ground truth stays high.
+   spectral clustering's and NMI against ground truth stays high;
+6. **corrupt-checkpoint resume vs uninterrupted** — a flow crashed
+   mid-run whose last checkpoint is then bit-flipped at rest must, on
+   resume, quarantine the damaged object (``<key>.corrupt``),
+   re-execute that step, and still match the uninterrupted run
+   bit-for-bit (labels and counters).
 
 Every run executes with the invariant layer on (``validate=True``), so a
 passing report also certifies the stage-boundary contracts of
@@ -248,6 +253,32 @@ def run_differential_suite(
         }
 
     _run_check(report, "quality.dasc_vs_exact_sc", check_vs_exact_sc)
+
+    # -- 6. corrupt-checkpoint resume vs uninterrupted -----------------------
+    def check_corrupt_checkpoint_resume():
+        emr = ElasticMapReduce(executor=SerialExecutor())
+        dasc = distributed(None, emr=emr)
+        flow_id = dasc.submit(X)
+        emr.run_job_flow(flow_id, max_steps=2)  # "driver crash" after stage 2
+        # Bit-flip the last checkpoint at rest, bypassing the hardened client.
+        key = f"{flow_id}/checkpoints/step-000"
+        damaged = bytearray(emr.s3.get(key))
+        damaged[len(damaged) // 2] ^= 0xFF
+        emr.s3.put(key, bytes(damaged))
+        resumed = dasc.resume(flow_id)
+        quarantined = emr.s3.exists(key + ".corrupt")
+        same_labels = bool(np.array_equal(serial_dist.labels, resumed.labels))
+        same_counters = _counters_equal(serial_dist.counters, resumed.counters)
+        reexecuted = 0 not in resumed.resumed_steps
+        return same_labels and same_counters and quarantined and reexecuted, {
+            "labels_identical": same_labels,
+            "counters_identical": same_counters,
+            "quarantined": bool(quarantined),
+            "step0_reexecuted": bool(reexecuted),
+            "resumed_steps": list(resumed.resumed_steps),
+        }
+
+    _run_check(report, "storage.corrupt_checkpoint_resume", check_corrupt_checkpoint_resume)
 
     return report
 

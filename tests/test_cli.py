@@ -80,6 +80,29 @@ class TestGenerateAndCluster:
         p = float(out.strip().rsplit("=", 1)[1])
         assert 0.0 < p < 1.0
 
+    def test_chaos_args(self):
+        args = build_parser().parse_args(["chaos", "-n", "200", "--corrupt-rate", "0.2"])
+        assert args.command == "chaos"
+        assert args.n_samples == 200
+        assert args.corrupt_rate == 0.2
+        assert args.max_attempts == 16  # generous default: the commit protocol
+        # makes several chaos-visible requests per attempt
+
+    def test_chaos_drill_passes_and_writes_trace(self, tmp_path, capsys):
+        from repro.observability import fault_summary, read_trace
+
+        trace = tmp_path / "chaos.jsonl"
+        code = main(["chaos", "-n", "150", "-k", "3", "--trace", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FAIL" not in out
+        assert "chaos_labels_identical" in out
+        assert "corrupt_checkpoint_quarantined" in out
+        assert "injected faults:" in out
+        ledger = fault_summary(read_trace(str(trace)))
+        assert ledger["by_kind"].get("storage.quarantine", 0) >= 1
+        assert ledger["by_kind"].get("fault.checkpoint_reexecuted", 0) >= 1
+
     def test_module_invocation(self, tmp_path):
         """python -m repro.cli works end to end."""
         data = tmp_path / "d.csv"

@@ -12,7 +12,7 @@ from repro.verify import (
     run_differential_suite,
 )
 
-# One suite run covers all five checks; share it across assertions.
+# One suite run covers all six checks; share it across assertions.
 SUITE_KW = dict(n_samples=200, n_clusters=4, n_features=8, seed=0, n_jobs=2, n_nodes=4)
 
 
@@ -51,6 +51,7 @@ class TestSuite:
             "distributed.resumed_vs_uninterrupted",
             "dasc.local_vs_distributed",
             "quality.dasc_vs_exact_sc",
+            "storage.corrupt_checkpoint_resume",
         }
 
     def test_serial_parallel_bit_identical(self, report):
@@ -68,6 +69,13 @@ class TestSuite:
         assert check.details["labels_identical"]
         assert check.details["counters_identical"]
         assert check.details["resumed_steps"], "crash point must leave steps to resume"
+
+    def test_corrupt_checkpoint_resume_recovers(self, report):
+        check = {c.name: c for c in report.checks}["storage.corrupt_checkpoint_resume"]
+        assert check.details["labels_identical"]
+        assert check.details["counters_identical"]
+        assert check.details["quarantined"]
+        assert check.details["step0_reexecuted"]
 
     def test_quality_gates(self, report):
         check = {c.name: c for c in report.checks}["quality.dasc_vs_exact_sc"]
