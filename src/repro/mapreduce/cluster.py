@@ -69,6 +69,10 @@ class TaskStats:
     speculative_won: int = 0  # backups that beat the original attempt
     wasted_cost: float = 0.0  # work charged to the clock but thrown away
     real_elapsed: float = 0.0  # measured wall-clock of the phase's compute
+    # Node (not slot) that produced each task's surviving output, indexed by
+    # the task's position in the submitted task list — what lets the trace
+    # analysis plane join `mr.map_task`/`mr.reduce_task` spans to nodes.
+    assigned_nodes: list[int] = field(default_factory=list)
 
     @property
     def utilization(self) -> float:
@@ -168,7 +172,13 @@ class SimulatedCluster:
 
         One ``cluster.phase`` event per scheduled phase with the per-node
         cost vector (slot loads folded by owning node) — the raw material
-        for the Table-3 makespan attribution in ``trace report``.
+        for the Table-3 makespan attribution in ``trace report``. The event
+        also carries the scheduling attribution the trace-analysis plane
+        needs: ``max_slot_cost`` (busy time of the most loaded slot — the
+        phase's critical path, equal to the makespan on gap-free schedules
+        and at most the makespan when faults introduce idle gaps),
+        ``n_slots``, and ``task_nodes`` (the node that produced each task's
+        surviving output, in task-submission order).
         """
         tracer = get_tracer()
         if not tracer.enabled:
@@ -182,12 +192,15 @@ class SimulatedCluster:
             "cluster.phase",
             phase=phase,
             n_nodes=self.n_nodes,
+            n_slots=len(stats.per_slot_cost),
             n_tasks=stats.n_tasks,
             makespan=stats.makespan,
             total_cost=stats.total_cost,
+            max_slot_cost=max(stats.per_slot_cost, default=0.0),
             utilization=stats.utilization,
             locality_rate=stats.locality_rate,
             per_node_cost=[round(c, 9) for c in per_node],
+            task_nodes=list(stats.assigned_nodes),
             n_node_failures=stats.n_node_failures,
             n_tasks_lost=stats.n_tasks_lost,
             n_map_outputs_lost=stats.n_map_outputs_lost,
@@ -209,15 +222,18 @@ class SimulatedCluster:
         costs = [float(c) for c in costs]
         if any(c < 0 for c in costs):
             raise ValueError("task costs must be non-negative")
-        n_slots = self.map_slots if phase == "map" else self.reduce_slots
+        per_node = self.node.map_slots if phase == "map" else self.node.reduce_slots
+        n_slots = self.n_nodes * per_node
         loads = [0.0] * n_slots
+        assigned = [0] * len(costs)
         if costs:
             heap = [(0.0, s) for s in range(n_slots)]
             heapq.heapify(heap)
-            for cost in sorted(costs, reverse=True):
+            for i in sorted(range(len(costs)), key=lambda j: (-costs[j], j)):
                 load, slot = heapq.heappop(heap)
-                load += cost
+                load += costs[i]
                 loads[slot] = load
+                assigned[i] = slot // per_node
                 heapq.heappush(heap, (load, slot))
         stats = TaskStats(
             n_tasks=len(costs),
@@ -225,6 +241,7 @@ class SimulatedCluster:
             makespan=max(loads) if loads else 0.0,
             per_slot_cost=loads,
             n_local_tasks=len(costs),  # no placement info: all count as local
+            assigned_nodes=assigned,
         )
         self._emit_phase_event(phase, stats)
         return stats
@@ -261,7 +278,9 @@ class SimulatedCluster:
                 raise ValueError("task costs must be non-negative")
             preferred = frozenset(int(p) % self.n_nodes for p in (preferred or ()))
             parsed.append((cost, preferred))
-        for cost, preferred in sorted(parsed, key=lambda t: -t[0]):
+        assigned = [0] * len(parsed)
+        for i in sorted(range(len(parsed)), key=lambda j: (-parsed[j][0], j)):
+            cost, preferred = parsed[i]
             best_local = None
             best_remote = None
             for slot in range(n_slots):
@@ -280,9 +299,11 @@ class SimulatedCluster:
                 loads[best_local] += cost
                 total_cost += cost
                 n_local += 1
+                assigned[i] = best_local // per_node
             else:
                 loads[best_remote] += remote_cost
                 total_cost += remote_cost
+                assigned[i] = best_remote // per_node
                 if not preferred:
                     n_local += 1  # no placement constraint: counts as local
         stats = TaskStats(
@@ -291,6 +312,7 @@ class SimulatedCluster:
             makespan=max(loads) if loads else 0.0,
             per_slot_cost=loads,
             n_local_tasks=n_local,
+            assigned_nodes=assigned,
         )
         self._emit_phase_event(phase, stats)
         return stats
@@ -524,5 +546,13 @@ class SimulatedCluster:
         stats.makespan = max(completion) if n_tasks else 0.0
         stats.per_slot_cost = slot_charge
         stats.n_local_tasks = n_local
+        # The surviving (completing) attempt determines which node each
+        # task's output came from — speculation wins and post-kill
+        # re-placements override the original placement.
+        assigned = [0] * n_tasks
+        for a in attempts:
+            if a.completes:
+                assigned[a.task] = node_of(a.slot)
+        stats.assigned_nodes = assigned
         self._emit_phase_event(phase, stats)
         return stats

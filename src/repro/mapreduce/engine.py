@@ -35,15 +35,38 @@ from repro.mapreduce.executor import default_executor, is_picklable
 from repro.mapreduce.hdfs import FileSplit
 from repro.mapreduce.types import JobSpec, MapTaskResult
 from repro.observability import get_tracer
+from repro.observability.metrics import time_buckets
 
 __all__ = [
     "TaskContext",
     "JobResult",
     "MapReduceEngine",
     "stable_hash",
+    "approx_bytes",
     "execute_map_task",
     "execute_reduce_task",
 ]
+
+
+def approx_bytes(obj) -> int:
+    """Cheap recursive estimate of a payload's in-memory size.
+
+    Exact byte accounting would mean pickling every record; traced runs only
+    need enough fidelity to attribute shuffle volume and data skew, so numpy
+    buffers count their ``nbytes``, strings/bytes their length, containers
+    recurse with a small per-slot overhead, and scalars count one machine
+    word. Only computed when tracing is enabled.
+    """
+    nbytes = getattr(obj, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(obj, (str, bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 8 * len(obj) + sum(approx_bytes(v) for v in obj)
+    if isinstance(obj, dict):
+        return sum(approx_bytes(k) + approx_bytes(v) + 16 for k, v in obj.items())
+    return 8
 
 
 def _validation_enabled() -> bool:
@@ -307,6 +330,16 @@ class MapReduceEngine:
             partitions = self._shuffle(job, map_results, counters)
             shuffle_span.set("n_partitions", len(partitions))
             shuffle_span.set("n_records", counters.value("shuffle", "records"))
+            if tracer.enabled:
+                # Per-partition volumes, in sorted-partition (= reduce task)
+                # order: the raw material for skew attribution in the report.
+                ordered = sorted(partitions)
+                shuffle_span.set(
+                    "partition_records", [len(partitions[p]) for p in ordered]
+                )
+                shuffle_span.set(
+                    "bytes", sum(approx_bytes(partitions[p]) for p in ordered)
+                )
         phase_start = time.perf_counter()
         if parallel:
             output, partition_outputs, reduce_costs = self._reduce_phase_parallel(
@@ -346,12 +379,19 @@ class MapReduceEngine:
                 ctx = TaskContext(job=job, counters=counters, task_id=f"map-{i}")
                 with tracer.span("mr.map_task", task=ctx.task_id) as task_span:
                     before = counters.copy() if tracer.enabled else None
+                    start = time.perf_counter()
                     result = self._run_map_task(job, records, ctx)
                     if tracer.enabled:
+                        elapsed = time.perf_counter() - start
                         task_span.set("cost", result.cost)
                         task_span.set("n_input_records", result.n_input_records)
                         task_span.set("n_output_records", len(result.records))
+                        task_span.set("bytes_in", approx_bytes(records))
+                        task_span.set("bytes_out", approx_bytes(result.records))
                         task_span.set("counters", counters.diff(before).as_dict())
+                        tracer.metrics.histogram(
+                            "mr.task_seconds", time_buckets()
+                        ).observe(elapsed)
                 map_results.append(result)
         except Exception as exc:
             # Let structured error handling upstream (JobFlowError) report
@@ -379,8 +419,13 @@ class MapReduceEngine:
                     task_span.set("cost", value.cost)
                     task_span.set("n_input_records", value.n_input_records)
                     task_span.set("n_output_records", len(value.records))
+                    task_span.set("bytes_in", approx_bytes(split_records[i]))
+                    task_span.set("bytes_out", approx_bytes(value.records))
                     task_span.set("counters", task_counters.as_dict())
                     task_span.set("worker_time", elapsed)
+                    tracer.metrics.histogram(
+                        "mr.task_seconds", time_buckets()
+                    ).observe(elapsed)
             map_results.append(value)
         return map_results
 
@@ -393,12 +438,19 @@ class MapReduceEngine:
                 ctx = TaskContext(job=job, counters=counters, task_id=f"reduce-{p}")
                 with tracer.span("mr.reduce_task", task=ctx.task_id) as task_span:
                     before = counters.copy() if tracer.enabled else None
+                    start = time.perf_counter()
                     part_out, cost = self._run_reduce_task(job, partitions[p], ctx)
                     if tracer.enabled:
+                        elapsed = time.perf_counter() - start
                         task_span.set("cost", cost)
                         task_span.set("n_input_records", len(partitions[p]))
                         task_span.set("n_output_records", len(part_out))
+                        task_span.set("bytes_in", approx_bytes(partitions[p]))
+                        task_span.set("bytes_out", approx_bytes(part_out))
                         task_span.set("counters", counters.diff(before).as_dict())
+                        tracer.metrics.histogram(
+                            "mr.task_seconds", time_buckets()
+                        ).observe(elapsed)
                 partition_outputs[p] = part_out
                 output.extend(part_out)
                 reduce_costs.append(cost)
@@ -425,8 +477,13 @@ class MapReduceEngine:
                     task_span.set("cost", cost)
                     task_span.set("n_input_records", len(partitions[p]))
                     task_span.set("n_output_records", len(part_out))
+                    task_span.set("bytes_in", approx_bytes(partitions[p]))
+                    task_span.set("bytes_out", approx_bytes(part_out))
                     task_span.set("counters", task_counters.as_dict())
                     task_span.set("worker_time", elapsed)
+                    tracer.metrics.histogram(
+                        "mr.task_seconds", time_buckets()
+                    ).observe(elapsed)
             partition_outputs[p] = part_out
             output.extend(part_out)
             reduce_costs.append(cost)

@@ -1,4 +1,4 @@
-"""Observability: tracing, metrics, structured logging, and trace reports.
+"""Observability: tracing, metrics, structured logging, and trace analysis.
 
 The paper's whole evaluation (Sections 5.4-5.6) is per-stage attribution —
 time and memory by pipeline stage, collision statistics, and 16/32/64-node
@@ -9,15 +9,41 @@ run instead of an ad-hoc measurement:
   explicit parent links, point events, and a process-wide tracer that
   defaults to a zero-overhead no-op;
 * :mod:`~repro.observability.metrics` — counters, gauges, and fixed-bucket
-  histograms exported with the trace;
+  histograms (with quantile estimation) exported with the trace;
 * :mod:`~repro.observability.sink` — the JSON-lines trace file (one run,
-  one file) and its reader;
+  one file) and its damage-tolerant reader;
 * :mod:`~repro.observability.report` — the Section 5.6 per-stage breakdown
   and the fault ledger, rebuilt from a trace file (``repro trace report``);
+* :mod:`~repro.observability.analysis` — the span DAG, wall-clock and
+  simulated critical paths, per-node utilization, and parallel efficiency
+  (``repro trace critical-path``);
+* :mod:`~repro.observability.diff` — two-trace stage diffing with
+  ``--fail-on`` regression gating (``repro trace diff``);
+* :mod:`~repro.observability.snapshot` — schema-versioned perf snapshots
+  distilled from traced benchmarks and the snapshot-vs-baseline compare
+  that CI gates on (``repro bench snapshot`` / ``repro bench compare``);
 * :mod:`~repro.observability.logging` — the single place handlers/levels
   for the ``repro`` logger namespace are configured.
 """
 
+from repro.observability.analysis import (
+    analyze_trace,
+    build_span_tree,
+    node_utilization,
+    parallel_efficiency,
+    phase_critical_path,
+    render_critical_path,
+    wall_critical_path,
+)
+from repro.observability.diff import (
+    RegressionRule,
+    diff_stage_tables,
+    diff_traces,
+    evaluate_rules,
+    parse_fail_on,
+    render_trace_diff,
+    stage_table,
+)
 from repro.observability.logging import configure, configure_logging, get_logger
 from repro.observability.metrics import (
     Counter,
@@ -25,9 +51,25 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
     pow2_buckets,
+    quantile_from_counts,
+    time_buckets,
 )
-from repro.observability.report import fault_summary, render_trace_report, stage_breakdown
+from repro.observability.report import (
+    fault_summary,
+    render_trace_report,
+    shuffle_volume,
+    stage_breakdown,
+)
 from repro.observability.sink import InMemorySink, JsonLinesSink, read_trace
+from repro.observability.snapshot import (
+    SCHEMA_VERSION,
+    build_snapshot,
+    compare_snapshots,
+    read_snapshot,
+    render_snapshot_comparison,
+    snapshot_from_trace,
+    write_snapshot,
+)
 from repro.observability.trace import (
     NullTracer,
     Span,
@@ -46,18 +88,42 @@ __all__ = [
     "JsonLinesSink",
     "MetricsRegistry",
     "NullTracer",
+    "RegressionRule",
+    "SCHEMA_VERSION",
     "Span",
     "Tracer",
+    "analyze_trace",
+    "build_snapshot",
+    "build_span_tree",
+    "compare_snapshots",
     "configure",
     "configure_logging",
+    "diff_stage_tables",
+    "diff_traces",
+    "evaluate_rules",
     "fault_summary",
     "get_logger",
     "get_tracer",
+    "node_utilization",
+    "parallel_efficiency",
+    "parse_fail_on",
+    "phase_critical_path",
     "pow2_buckets",
+    "quantile_from_counts",
+    "read_snapshot",
     "read_trace",
+    "render_critical_path",
+    "render_snapshot_comparison",
+    "render_trace_diff",
     "render_trace_report",
     "set_tracer",
+    "shuffle_volume",
+    "snapshot_from_trace",
     "stage_breakdown",
+    "stage_table",
+    "time_buckets",
     "trace_to",
     "use_tracer",
+    "wall_critical_path",
+    "write_snapshot",
 ]

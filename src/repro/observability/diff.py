@@ -1,0 +1,286 @@
+"""Trace diffing: align two runs stage-by-stage and gate on regressions.
+
+``repro trace diff BASELINE CURRENT`` (and the snapshot pipeline's
+``repro bench compare``) answer "what changed between these two runs":
+per-stage total/self/count deltas, stages that appeared or vanished, the
+fault-ledger delta, and the simulated makespan / critical-path movement.
+Regression *gating* is a list of :class:`RegressionRule` objects parsed
+from ``--fail-on 'PATTERN>NN%'`` specs — a glob over stage names with a
+percentage threshold on self (default) or total time — evaluated against
+the aligned table; any violation makes the CLI exit nonzero, which is the
+whole CI story.
+
+Stages are keyed by span name, refined with the span's ``phase`` attribute
+when present (``mr.schedule:map`` vs ``mr.schedule:reduce``), so a
+reduce-side regression is not averaged away by a healthy map side.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+from repro.observability.analysis import analyze_trace
+from repro.observability.report import _table, fault_summary, stage_breakdown
+
+__all__ = [
+    "RegressionRule",
+    "parse_fail_on",
+    "stage_table",
+    "diff_stage_tables",
+    "diff_traces",
+    "evaluate_rules",
+    "render_trace_diff",
+]
+
+_FAIL_ON = re.compile(r"^(?:(?P<metric>self|total):)?(?P<pattern>.+?)>(?P<pct>\d+(?:\.\d+)?)%$")
+
+
+@dataclass(frozen=True)
+class RegressionRule:
+    """One gating rule: stages matching ``pattern`` may not slow down by
+    more than ``threshold_pct`` percent on ``metric`` (``self`` or
+    ``total`` time)."""
+
+    pattern: str
+    threshold_pct: float
+    metric: str = "self"
+
+    def matches(self, stage: str) -> bool:
+        return fnmatchcase(stage, self.pattern)
+
+
+def parse_fail_on(spec: str) -> RegressionRule:
+    """Parse a ``--fail-on`` spec into a rule.
+
+    Grammar: ``[self:|total:]PATTERN>NN%`` where PATTERN is an
+    ``fnmatch``-style glob over stage keys (``mr.*``, ``dasc.fit``,
+    ``mr.schedule:reduce``) and NN the allowed slowdown percentage.
+    """
+    m = _FAIL_ON.match(spec.strip())
+    if not m:
+        raise ValueError(
+            f"bad --fail-on spec {spec!r}; expected '[self:|total:]PATTERN>NN%' "
+            "e.g. 'mr.*>20%' or 'total:dasc.fit>50%'"
+        )
+    return RegressionRule(
+        pattern=m.group("pattern"),
+        threshold_pct=float(m.group("pct")),
+        metric=m.group("metric") or "self",
+    )
+
+
+def stage_table(records: list[dict]) -> dict:
+    """Per-stage breakdown keyed by diff-stable stage names.
+
+    Same numbers as :func:`~repro.observability.report.stage_breakdown`,
+    but span names carrying a ``phase`` attribute are split into
+    ``name:phase`` keys so the two sides of a diff align at the phase
+    level.
+    """
+    refined = []
+    for r in records:
+        if r.get("type") == "span":
+            phase = (r.get("attributes") or {}).get("phase")
+            if phase is not None:
+                r = dict(r, name=f"{r.get('name')}:{phase}")
+        refined.append(r)
+    return stage_breakdown(refined)
+
+
+def _pct(base: float, cur: float) -> float | None:
+    """Percent change from ``base`` to ``cur`` (``None`` when base is 0)."""
+    if base > 0.0:
+        return 100.0 * (cur - base) / base
+    return None
+
+
+def diff_stage_tables(base: dict, cur: dict) -> dict:
+    """Align two stage tables by stage key.
+
+    Returns ``{"common": {...}, "new": {...}, "vanished": {...}}`` where each
+    common entry carries base/current/delta/percent for both self and total
+    time plus the call-count pair. ``new``/``vanished`` hold the raw
+    one-sided entries.
+    """
+    common: dict = {}
+    for name in sorted(set(base) & set(cur)):
+        b, c = base[name], cur[name]
+        common[name] = {
+            "base_self": b["self"],
+            "cur_self": c["self"],
+            "delta_self": c["self"] - b["self"],
+            "pct_self": _pct(b["self"], c["self"]),
+            "base_total": b["total"],
+            "cur_total": c["total"],
+            "delta_total": c["total"] - b["total"],
+            "pct_total": _pct(b["total"], c["total"]),
+            "base_count": b["count"],
+            "cur_count": c["count"],
+        }
+    return {
+        "common": common,
+        "new": {name: dict(cur[name]) for name in sorted(set(cur) - set(base))},
+        "vanished": {name: dict(base[name]) for name in sorted(set(base) - set(cur))},
+    }
+
+
+def diff_traces(base_records: list[dict], cur_records: list[dict]) -> dict:
+    """The full two-trace diff: stages, faults, and schedule summary."""
+    base_faults = fault_summary(base_records)
+    cur_faults = fault_summary(cur_records)
+    fault_kinds = sorted(set(base_faults["by_kind"]) | set(cur_faults["by_kind"]))
+    base_analysis = analyze_trace(base_records)
+    cur_analysis = analyze_trace(cur_records)
+
+    def summary(analysis: dict) -> dict:
+        return {
+            "wall_time": analysis["wall_time"],
+            "simulated_makespan": analysis["simulated_makespan"],
+            "critical_path_length": analysis["critical_path_length"],
+            "parallel_efficiency": analysis["parallel_efficiency"],
+        }
+
+    return {
+        "stages": diff_stage_tables(stage_table(base_records), stage_table(cur_records)),
+        "faults": {
+            "by_kind": {
+                kind: {
+                    "base": base_faults["by_kind"].get(kind, 0),
+                    "cur": cur_faults["by_kind"].get(kind, 0),
+                }
+                for kind in fault_kinds
+            },
+            "base_wasted": base_faults["wasted_cost"],
+            "cur_wasted": cur_faults["wasted_cost"],
+        },
+        "base": summary(base_analysis),
+        "cur": summary(cur_analysis),
+    }
+
+
+def evaluate_rules(
+    stages_diff: dict, rules: list[RegressionRule], *, min_time: float = 0.0
+) -> list[dict]:
+    """Check every common stage against every rule.
+
+    A stage violates a rule when the rule's glob matches, the chosen metric
+    regressed past the rule's threshold, and the metric's larger side is at
+    least ``min_time`` seconds (the noise floor — sub-floor stages jitter
+    by large percentages without meaning anything). Returns one violation
+    dict per (stage, rule) hit, worst first.
+    """
+    violations: list[dict] = []
+    for stage, entry in stages_diff["common"].items():
+        for rule in rules:
+            if not rule.matches(stage):
+                continue
+            base = entry[f"base_{rule.metric}"]
+            cur = entry[f"cur_{rule.metric}"]
+            if max(base, cur) < min_time:
+                continue
+            pct = _pct(base, cur)
+            if pct is not None and pct > rule.threshold_pct:
+                violations.append(
+                    {
+                        "stage": stage,
+                        "metric": rule.metric,
+                        "base": base,
+                        "cur": cur,
+                        "pct": pct,
+                        "threshold_pct": rule.threshold_pct,
+                        "rule": f"{rule.metric}:{rule.pattern}>{rule.threshold_pct:g}%",
+                    }
+                )
+    violations.sort(key=lambda v: -v["pct"])
+    return violations
+
+
+def _fmt_pct(pct: float | None) -> str:
+    return "new" if pct is None else f"{pct:+.1f}%"
+
+
+def render_trace_diff(diff: dict, violations: list[dict] | None = None) -> str:
+    """Human-readable diff report (``repro trace diff``).
+
+    Common stages are ranked by absolute self-time delta; new and vanished
+    stages, fault-ledger deltas, and the schedule summary follow. When
+    ``violations`` is given, a final section itemizes each gating failure.
+    """
+    lines: list[str] = []
+    stages = diff["stages"]
+
+    lines.append("== Stage deltas ==")
+    if stages["common"]:
+        ranked = sorted(stages["common"].items(), key=lambda kv: -abs(kv[1]["delta_self"]))
+        rows = [
+            [
+                name,
+                f"{e['base_self']:.6f}",
+                f"{e['cur_self']:.6f}",
+                f"{e['delta_self']:+.6f}",
+                _fmt_pct(e["pct_self"]),
+                f"{e['base_count']}→{e['cur_count']}",
+            ]
+            for name, e in ranked
+        ]
+        lines.extend(
+            _table(["stage", "base self", "cur self", "delta", "delta%", "calls"], rows)
+        )
+    else:
+        lines.append("  (no stages in common)")
+    for label, key in (("new in current", "new"), ("vanished from baseline", "vanished")):
+        if stages[key]:
+            lines.append(f"  {label}:")
+            for name, e in stages[key].items():
+                lines.append(f"    {name}  self={e['self']:.6f}s  calls={e['count']}")
+    lines.append("")
+
+    lines.append("== Fault deltas ==")
+    faults = diff["faults"]
+    changed = {
+        kind: pair for kind, pair in faults["by_kind"].items() if pair["base"] != pair["cur"]
+    }
+    if changed or faults["by_kind"]:
+        for kind, pair in sorted(faults["by_kind"].items()):
+            marker = "" if pair["base"] == pair["cur"] else "  *"
+            lines.append(f"  {kind}: {pair['base']} → {pair['cur']}{marker}")
+        lines.append(
+            f"  wasted cost: {faults['base_wasted']:.4f} → {faults['cur_wasted']:.4f}"
+        )
+    else:
+        lines.append("  no fault events in either run")
+    lines.append("")
+
+    lines.append("== Summary ==")
+    base, cur = diff["base"], diff["cur"]
+    for label, key in (
+        ("wall time", "wall_time"),
+        ("simulated makespan", "simulated_makespan"),
+        ("critical path", "critical_path_length"),
+    ):
+        pct = _fmt_pct(_pct(base[key], cur[key]))
+        lines.append(f"  {label}: {base[key]:.6f} → {cur[key]:.6f}  ({pct})")
+    if base["parallel_efficiency"] is not None or cur["parallel_efficiency"] is not None:
+        b = base["parallel_efficiency"]
+        c = cur["parallel_efficiency"]
+        lines.append(
+            "  parallel efficiency: "
+            + ("-" if b is None else f"{100.0 * b:.1f}%")
+            + " → "
+            + ("-" if c is None else f"{100.0 * c:.1f}%")
+        )
+
+    if violations is not None:
+        lines.append("")
+        lines.append("== Regression gate ==")
+        if violations:
+            for v in violations:
+                lines.append(
+                    f"  FAIL {v['stage']}: {v['metric']} {v['base']:.6f} → {v['cur']:.6f} "
+                    f"({v['pct']:+.1f}% > {v['threshold_pct']:g}% allowed by {v['rule']})"
+                )
+        else:
+            lines.append("  all rules passed")
+    return "\n".join(lines) + "\n"

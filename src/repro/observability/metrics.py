@@ -23,6 +23,8 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRICS",
     "pow2_buckets",
+    "time_buckets",
+    "quantile_from_counts",
 ]
 
 
@@ -36,6 +38,67 @@ def pow2_buckets(max_exponent: int = 20) -> tuple:
     if max_exponent < 0:
         raise ValueError(f"max_exponent must be >= 0, got {max_exponent}")
     return tuple(2**i for i in range(max_exponent + 1))
+
+
+def time_buckets() -> tuple:
+    """Power-of-two *seconds* bounds from ~1 µs to ~17 min.
+
+    Durations (task bodies, storage backoffs) live well below the integer
+    pow2 scale, so histograms of seconds use this sub-second geometric
+    ladder instead.
+    """
+    return tuple(2.0**e for e in range(-20, 11))
+
+
+def quantile_from_counts(buckets, counts, q, *, minimum=None, maximum=None) -> float | None:
+    """Estimate the ``q``-quantile of a bucketed distribution.
+
+    ``buckets`` are inclusive upper bounds, ``counts`` the per-bucket tallies
+    including the trailing overflow bucket (the :class:`Histogram` layout).
+    The estimate interpolates *within* the bucket holding the target rank —
+    log-linearly when the bucket's bounds are positive (the right choice for
+    geometric ladders like :func:`pow2_buckets`), linearly otherwise. The
+    known ``minimum``/``maximum`` samples, when given, tighten the first and
+    overflow buckets and clamp the result. Returns ``None`` for an empty
+    distribution.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    target = q * total
+    cumulative = 0.0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        if cumulative + c >= target:
+            frac = (target - cumulative) / c if c else 0.0
+            frac = min(1.0, max(0.0, frac))
+            if i == 0:
+                lo = minimum if minimum is not None else 0.0
+                hi = buckets[0]
+            elif i == len(buckets):  # overflow bucket
+                lo = buckets[-1]
+                hi = maximum if maximum is not None else buckets[-1] * 2.0
+            else:
+                lo = buckets[i - 1]
+                hi = buckets[i]
+            lo, hi = float(lo), float(hi)
+            if hi < lo:
+                hi = lo
+            if lo > 0.0 and hi > 0.0:
+                value = lo * (hi / lo) ** frac
+            else:
+                value = lo + (hi - lo) * frac
+            if minimum is not None:
+                value = max(value, float(minimum))
+            if maximum is not None:
+                value = min(value, float(maximum))
+            return value
+        cumulative += c
+    # q == 1.0 lands past the last non-empty bucket on exact arithmetic.
+    return float(maximum) if maximum is not None else float(buckets[-1])
 
 
 class Counter:
@@ -113,6 +176,18 @@ class Histogram:
     def mean(self) -> float:
         """Sample mean (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile (``None`` when empty).
+
+        Log-linear interpolation within the target bucket, clamped to the
+        observed ``[min, max]`` — see :func:`quantile_from_counts`.
+        """
+        if self.count == 0:
+            return None
+        return quantile_from_counts(
+            self.buckets, self.counts, q, minimum=self.min, maximum=self.max
+        )
 
 
 class MetricsRegistry:

@@ -10,7 +10,9 @@ its wasted time — the audit trail for the fault-injection machinery.
 
 from __future__ import annotations
 
-__all__ = ["stage_breakdown", "fault_summary", "render_trace_report"]
+from repro.observability.metrics import quantile_from_counts
+
+__all__ = ["stage_breakdown", "fault_summary", "shuffle_volume", "render_trace_report"]
 
 
 def _spans(records: list[dict]) -> list[dict]:
@@ -73,6 +75,46 @@ def fault_summary(records: list[dict]) -> dict:
     return {"items": items, "by_kind": by_kind, "wasted_cost": wasted}
 
 
+def shuffle_volume(records: list[dict]) -> list[dict]:
+    """Per-job shuffle volume and partition skew.
+
+    One entry per ``mr.shuffle`` span that carries the volume attributes
+    (``partition_records``, ``bytes``): the owning job's name, partition
+    count, total/max records, approximate bytes, and ``skew`` — the ratio
+    of the largest partition to the mean, the number that tells you
+    whether a slow reduce phase is data skew or compute.
+    """
+    by_id = {
+        r["span_id"]: r
+        for r in records
+        if r.get("type") == "span" and r.get("span_id") is not None
+    }
+    out: list[dict] = []
+    for r in records:
+        if r.get("type") != "span" or r.get("name") != "mr.shuffle":
+            continue
+        attrs = r.get("attributes", {}) or {}
+        partition_records = attrs.get("partition_records")
+        if partition_records is None:
+            continue
+        parent = by_id.get(r.get("parent_id"))
+        job = (parent.get("attributes", {}) or {}).get("job") if parent else None
+        counts = [int(c) for c in partition_records]
+        total = sum(counts)
+        mean = total / len(counts) if counts else 0.0
+        out.append(
+            {
+                "job": job,
+                "n_partitions": len(counts),
+                "records": total,
+                "max_partition": max(counts, default=0),
+                "bytes": int(attrs.get("bytes", 0) or 0),
+                "skew": (max(counts) / mean) if counts and mean > 0 else 0.0,
+            }
+        )
+    return out
+
+
 def _table(header: list[str], rows: list[list]) -> list[str]:
     widths = [
         max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
@@ -89,9 +131,24 @@ def render_trace_report(records: list[dict], *, top: int | None = None) -> str:
     """Render a trace as the human-readable per-stage report.
 
     Sections: run metadata, the stage table (sorted by self time, optionally
-    truncated to ``top`` rows), the fault ledger, and the exported metrics.
+    truncated to ``top`` rows), task-duration percentiles, shuffle volume,
+    the simulated critical path, the fault ledger, and the exported
+    metrics. A lenient :func:`~repro.observability.sink.read_trace` pass
+    that skipped malformed lines is flagged up front.
     """
+    from repro.observability.analysis import analyze_trace
+
     lines: list[str] = []
+
+    skipped = sum(
+        int(r.get("skipped", 0)) for r in records if r.get("type") == "trace_warning"
+    )
+    if skipped:
+        lines.append(
+            f"!! warning: {skipped} malformed trace line(s) skipped while reading "
+            "(truncated or corrupt file?)"
+        )
+        lines.append("")
 
     metas = [r for r in records if r.get("type") == "meta"]
     if metas:
@@ -126,6 +183,65 @@ def render_trace_report(records: list[dict], *, top: int | None = None) -> str:
         lines.append("  (no closed spans in trace)")
     lines.append("")
 
+    analysis = analyze_trace(records)
+
+    quantiles = analysis["task_quantiles"]
+    if quantiles is not None:
+        lines.append("== Task durations ==")
+        lines.append(
+            f"  {quantiles['count']} tasks ({quantiles['source']}): "
+            f"p50={quantiles['p50']:.6f}s  p95={quantiles['p95']:.6f}s  "
+            f"p99={quantiles['p99']:.6f}s"
+        )
+        lines.append("")
+
+    shuffles = shuffle_volume(records)
+    if shuffles:
+        lines.append("== Shuffle volume ==")
+        rows = [
+            [
+                s["job"] or "?",
+                s["n_partitions"],
+                s["records"],
+                s["max_partition"],
+                f"{s['skew']:.2f}x",
+                s["bytes"],
+            ]
+            for s in shuffles
+        ]
+        lines.extend(
+            _table(
+                ["job", "partitions", "records", "max part", "skew", "~bytes"], rows
+            )
+        )
+        lines.append("")
+
+    if analysis["phases"]:
+        lines.append("== Critical path (simulated) ==")
+        for p in analysis["phases"]:
+            straggler = p["straggler"]
+            detail = (
+                "-"
+                if straggler is None
+                else f"{straggler['task']}"
+                + ("" if straggler["node"] is None else f"@n{straggler['node']}")
+            )
+            job = p["job"] or "?"
+            lines.append(
+                f"  {job}/{p['phase']}: makespan={p['makespan']:.6f} "
+                f"critical={p['critical']:.6f} straggler={detail}"
+            )
+        lines.append(
+            f"  total: critical path {analysis['critical_path_length']:.6f} of "
+            f"makespan {analysis['simulated_makespan']:.6f}"
+            + (
+                f"; parallel efficiency {100.0 * analysis['parallel_efficiency']:.1f}%"
+                if analysis["parallel_efficiency"] is not None
+                else ""
+            )
+        )
+        lines.append("")
+
     faults = fault_summary(records)
     lines.append("== Faults ==")
     if faults["items"]:
@@ -154,9 +270,24 @@ def render_trace_report(records: list[dict], *, top: int | None = None) -> str:
             lines.append(f"  gauge      {name} = {value}")
         for name, hist in sorted(data.get("histograms", {}).items()):
             mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+            quantile_note = ""
+            if hist["count"]:
+                qs = [
+                    quantile_from_counts(
+                        hist["buckets"],
+                        hist["counts"],
+                        q,
+                        minimum=hist.get("min"),
+                        maximum=hist.get("max"),
+                    )
+                    for q in (0.50, 0.95, 0.99)
+                ]
+                quantile_note = (
+                    f" p50={qs[0]:.4g} p95={qs[1]:.4g} p99={qs[2]:.4g}"
+                )
             lines.append(
                 f"  histogram  {name}: count={hist['count']} mean={mean:.2f} "
-                f"min={hist['min']} max={hist['max']}"
+                f"min={hist['min']} max={hist['max']}{quantile_note}"
             )
             occupied = [
                 (bound, c)

@@ -93,19 +93,55 @@ class JsonLinesSink:
             self._stream.close()
 
 
-def read_trace(source) -> list[dict]:
+def _parse_lines(lines, strict: bool) -> list[dict]:
+    records: list[dict] = []
+    skipped = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if strict:
+                raise
+            skipped += 1
+            continue
+        if not isinstance(record, dict):
+            # A bare JSON scalar/array is not a trace record; same handling
+            # as an unparsable line.
+            if strict:
+                raise ValueError(f"trace line is not a JSON object: {line.strip()[:80]!r}")
+            skipped += 1
+            continue
+        records.append(record)
+    if skipped:
+        warning = {"type": "trace_warning", "name": "read.skipped_lines", "skipped": skipped}
+        if records and all("seq" in r for r in records):
+            warning["seq"] = max(r["seq"] for r in records) + 1
+        records.append(warning)
+    return records
+
+
+def read_trace(source, *, strict: bool = False) -> list[dict]:
     """Load a JSON-lines trace back into a list of record dicts.
 
     ``source`` is a file path or a text stream; blank lines are skipped and
     records are returned in ``seq`` order when every record carries one
     (file order otherwise), so reports see spans in open order even though
     the tracer emits them at close.
+
+    A crashed writer leaves a truncated trailing line (and a corrupted disk
+    can damage any line); by default such malformed lines are *skipped* and
+    counted into one synthetic ``{"type": "trace_warning", "name":
+    "read.skipped_lines", "skipped": N}`` record appended to the result, so
+    ``render_trace_report`` can surface how much of the trace was dropped.
+    ``strict=True`` restores raise-on-malformed behavior.
     """
     if isinstance(source, (str, os.PathLike)):
         with open(source, encoding="utf-8") as fh:
-            records = [json.loads(line) for line in fh if line.strip()]
+            records = _parse_lines(fh, strict)
     elif isinstance(source, io.TextIOBase) or hasattr(source, "read"):
-        records = [json.loads(line) for line in source if line.strip()]
+        records = _parse_lines(source, strict)
     else:
         raise TypeError(f"expected a path or text stream, got {type(source).__name__}")
     if records and all("seq" in r for r in records):

@@ -1,0 +1,206 @@
+"""Perf-regression snapshots: distill traced benchmarks into committable JSON.
+
+A *snapshot* is the durable residue of one benchmark session: for every
+traced benchmark, the per-stage self/total times, the exported counters,
+the simulated makespan and critical-path length, and the parallel
+efficiency — schema-versioned so a CI job from next month can refuse a
+stale baseline instead of mis-reading it. The pipeline:
+
+1. ``repro bench snapshot RUN.jsonl ... -o BENCH_x.json`` (or the
+   ``benchmarks/_harness.py`` hook via ``REPRO_BENCH_DIR``) distills traces;
+2. a known-good snapshot is committed as the baseline;
+3. ``repro bench compare BASELINE CURRENT --fail-on 'mr.*>200%'`` aligns the
+   two stage tables per benchmark with the same rule engine as
+   ``repro trace diff`` and exits nonzero on any violation.
+
+Counter drift (task retries, Lanczos iterations, block counts) is reported
+but never gates — counts change for legitimate reasons; only time rules
+fail the build.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability.analysis import analyze_trace
+from repro.observability.diff import diff_stage_tables, evaluate_rules, stage_table
+from repro.observability.report import fault_summary
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SNAPSHOT_KIND",
+    "snapshot_from_trace",
+    "build_snapshot",
+    "write_snapshot",
+    "read_snapshot",
+    "compare_snapshots",
+    "render_snapshot_comparison",
+]
+
+SCHEMA_VERSION = 1
+SNAPSHOT_KIND = "repro-bench-snapshot"
+
+
+def snapshot_from_trace(records: list[dict], name: str) -> dict:
+    """Distill one trace into a snapshot entry.
+
+    Stage times keep ``count``/``total``/``self`` (the diffable core;
+    shares and means are derivable); ``counters`` is the final exported
+    counter map; the schedule block records what the analysis plane
+    computed so compare output can show makespan movement without
+    re-reading traces.
+    """
+    analysis = analyze_trace(records)
+    stages = {
+        stage: {"count": e["count"], "total": e["total"], "self": e["self"]}
+        for stage, e in stage_table(records).items()
+    }
+    counters = {}
+    for r in reversed(records):
+        if r.get("type") == "metrics":
+            counters = dict(r.get("data", {}).get("counters", {}))
+            break
+    return {
+        "name": name,
+        "stages": stages,
+        "counters": counters,
+        "wall_time": analysis["wall_time"],
+        "makespan": analysis["simulated_makespan"],
+        "critical_path": analysis["critical_path_length"],
+        "parallel_efficiency": analysis["parallel_efficiency"],
+        "wasted_cost": fault_summary(records)["wasted_cost"],
+    }
+
+
+def build_snapshot(tag: str, entries: list[dict]) -> dict:
+    """Assemble benchmark entries into one schema-versioned snapshot."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": SNAPSHOT_KIND,
+        "tag": tag,
+        "benchmarks": {e["name"]: {k: v for k, v in e.items() if k != "name"} for e in entries},
+    }
+
+
+def write_snapshot(snapshot: dict, path) -> None:
+    """Write a snapshot as stable, committable JSON (sorted keys)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def read_snapshot(path) -> dict:
+    """Read and validate a snapshot file.
+
+    Raises ``ValueError`` on a wrong ``kind`` or an unknown
+    ``schema_version`` — a CI baseline from a different schema generation
+    must fail loudly, not diff nonsensically.
+    """
+    with open(path, encoding="utf-8") as fh:
+        snapshot = json.load(fh)
+    if not isinstance(snapshot, dict) or snapshot.get("kind") != SNAPSHOT_KIND:
+        raise ValueError(f"{path}: not a {SNAPSHOT_KIND} file")
+    version = snapshot.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: snapshot schema_version {version!r} is not supported "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    if not isinstance(snapshot.get("benchmarks"), dict):
+        raise ValueError(f"{path}: snapshot has no 'benchmarks' mapping")
+    return snapshot
+
+
+def compare_snapshots(
+    baseline: dict, current: dict, rules: list, *, min_time: float = 0.0
+) -> dict:
+    """Align two snapshots benchmark-by-benchmark and gate on the rules.
+
+    Returns ``{"benchmarks": {name: {"stages": <diff>, "violations": [...],
+    "counters": {...}, "base"/"cur": schedule summaries}}, "new": [...],
+    "vanished": [...], "violations": [...]}`` — the top-level violation
+    list (each tagged with its benchmark) is what decides the exit code.
+    """
+    base_benches = baseline["benchmarks"]
+    cur_benches = current["benchmarks"]
+    out: dict = {
+        "benchmarks": {},
+        "new": sorted(set(cur_benches) - set(base_benches)),
+        "vanished": sorted(set(base_benches) - set(cur_benches)),
+        "violations": [],
+    }
+    for name in sorted(set(base_benches) & set(cur_benches)):
+        b, c = base_benches[name], cur_benches[name]
+        stages = diff_stage_tables(b.get("stages", {}), c.get("stages", {}))
+        violations = evaluate_rules(stages, rules, min_time=min_time)
+        for v in violations:
+            v["benchmark"] = name
+        counter_names = sorted(set(b.get("counters", {})) | set(c.get("counters", {})))
+        counters = {
+            k: {"base": b.get("counters", {}).get(k, 0), "cur": c.get("counters", {}).get(k, 0)}
+            for k in counter_names
+            if b.get("counters", {}).get(k, 0) != c.get("counters", {}).get(k, 0)
+        }
+        summary_keys = ("wall_time", "makespan", "critical_path", "parallel_efficiency")
+        out["benchmarks"][name] = {
+            "stages": stages,
+            "violations": violations,
+            "counters": counters,
+            "base": {k: b.get(k) for k in summary_keys},
+            "cur": {k: c.get(k) for k in summary_keys},
+        }
+        out["violations"].extend(violations)
+    out["violations"].sort(key=lambda v: -v["pct"])
+    return out
+
+
+def render_snapshot_comparison(comparison: dict) -> str:
+    """Human-readable ``repro bench compare`` report."""
+    from repro.observability.report import _table
+
+    lines: list[str] = []
+    for name, entry in comparison["benchmarks"].items():
+        lines.append(f"== Benchmark {name} ==")
+        common = entry["stages"]["common"]
+        if common:
+            ranked = sorted(common.items(), key=lambda kv: -abs(kv[1]["delta_self"]))
+            rows = [
+                [
+                    stage,
+                    f"{e['base_self']:.6f}",
+                    f"{e['cur_self']:.6f}",
+                    f"{e['delta_self']:+.6f}",
+                    "new" if e["pct_self"] is None else f"{e['pct_self']:+.1f}%",
+                ]
+                for stage, e in ranked
+            ]
+            lines.extend(_table(["stage", "base self", "cur self", "delta", "delta%"], rows))
+        for label, key in (("new stages", "new"), ("vanished stages", "vanished")):
+            if entry["stages"][key]:
+                lines.append(f"  {label}: " + ", ".join(entry["stages"][key]))
+        if entry["counters"]:
+            drift = ", ".join(
+                f"{k} {pair['base']}→{pair['cur']}" for k, pair in sorted(entry["counters"].items())
+            )
+            lines.append(f"  counter drift (informational): {drift}")
+        base, cur = entry["base"], entry["cur"]
+        if base.get("makespan") is not None and cur.get("makespan") is not None:
+            lines.append(
+                f"  makespan {base['makespan']:.6f} → {cur['makespan']:.6f}; "
+                f"critical path {base['critical_path']:.6f} → {cur['critical_path']:.6f}"
+            )
+        for v in entry["violations"]:
+            lines.append(
+                f"  FAIL {v['stage']}: {v['metric']} {v['base']:.6f} → {v['cur']:.6f} "
+                f"({v['pct']:+.1f}% > {v['threshold_pct']:g}% allowed)"
+            )
+        lines.append("")
+    for label, key in (("new benchmarks", "new"), ("vanished benchmarks", "vanished")):
+        if comparison[key]:
+            lines.append(f"{label}: " + ", ".join(comparison[key]))
+    total = len(comparison["violations"])
+    lines.append(
+        "regression gate: "
+        + ("all rules passed" if total == 0 else f"{total} violation(s)")
+    )
+    return "\n".join(lines) + "\n"

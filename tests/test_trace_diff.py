@@ -1,0 +1,185 @@
+"""Trace-diff tests: stage alignment, regression rules, and the CLI gate.
+
+The acceptance criterion pinned here: ``repro trace diff`` exits nonzero
+when the current trace carries an injected 2x stage slowdown and a
+``--fail-on`` rule covers that stage — and exits zero without the rule or
+without the slowdown.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.observability import (
+    RegressionRule,
+    diff_stage_tables,
+    diff_traces,
+    evaluate_rules,
+    parse_fail_on,
+    render_trace_diff,
+    stage_table,
+)
+
+
+def span(name, span_id, parent_id, start, end, seq, **attrs):
+    return {
+        "type": "span",
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "seq": seq,
+        "start": start,
+        "end": end,
+        "duration": end - start,
+        "attributes": attrs,
+    }
+
+
+def baseline_records():
+    return [
+        span("job", 1, None, 0.0, 10.0, 0),
+        span("mr.map_task", 2, 1, 0.0, 4.0, 1),
+        span("mr.reduce_task", 3, 1, 4.0, 8.0, 2),
+        span("mr.schedule", 4, 1, 8.0, 9.0, 3, phase="map"),
+        {
+            "type": "event", "name": "fault.task_retry", "span_id": None,
+            "parent_id": 1, "seq": 4, "attributes": {"wasted_cost": 1.5},
+        },
+    ]
+
+
+def slowed_records(factor=2.0):
+    """The same run with mr.reduce_task slowed by ``factor``."""
+    extra = 4.0 * (factor - 1.0)
+    return [
+        span("job", 1, None, 0.0, 10.0 + extra, 0),
+        span("mr.map_task", 2, 1, 0.0, 4.0, 1),
+        span("mr.reduce_task", 3, 1, 4.0, 8.0 + extra, 2),
+        span("mr.schedule", 4, 1, 8.0 + extra, 9.0 + extra, 3, phase="map"),
+    ]
+
+
+def write_trace(path, records):
+    with open(path, "w") as fh:
+        for r in records:
+            fh.write(json.dumps(r) + "\n")
+    return str(path)
+
+
+class TestParseFailOn:
+    def test_default_metric_is_self(self):
+        rule = parse_fail_on("mr.*>20%")
+        assert rule == RegressionRule(pattern="mr.*", threshold_pct=20.0, metric="self")
+
+    def test_total_prefix(self):
+        rule = parse_fail_on("total:dasc.fit>50.5%")
+        assert rule.metric == "total"
+        assert rule.threshold_pct == pytest.approx(50.5)
+
+    def test_glob_matching(self):
+        rule = parse_fail_on("mr.schedule:*>10%")
+        assert rule.matches("mr.schedule:map")
+        assert not rule.matches("mr.map_task")
+
+    @pytest.mark.parametrize("bad", ["", "stage", "stage>20", ">20%", "stage>x%"])
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_fail_on(bad)
+
+
+class TestStageTable:
+    def test_phase_attribute_refines_stage_key(self):
+        table = stage_table(baseline_records())
+        assert "mr.schedule:map" in table
+        assert "mr.schedule" not in table
+
+
+class TestDiffing:
+    def test_common_new_vanished(self):
+        base = stage_table(baseline_records())
+        cur = stage_table(slowed_records())
+        diff = diff_stage_tables(base, cur)
+        assert "mr.reduce_task" in diff["common"]
+        assert diff["common"]["mr.reduce_task"]["pct_self"] == pytest.approx(100.0)
+        assert diff["new"] == {}
+        assert diff["vanished"] == {}
+
+    def test_one_sided_stages(self):
+        base = stage_table(baseline_records())
+        cur = dict(base)
+        cur["fresh.stage"] = {"count": 1, "total": 1.0, "self": 1.0, "mean": 1.0, "share": 0.1}
+        cur.pop("mr.map_task")
+        diff = diff_stage_tables(base, cur)
+        assert list(diff["new"]) == ["fresh.stage"]
+        assert list(diff["vanished"]) == ["mr.map_task"]
+
+    def test_rules_catch_the_slowdown(self):
+        diff = diff_stage_tables(stage_table(baseline_records()), stage_table(slowed_records()))
+        violations = evaluate_rules(diff, [parse_fail_on("mr.*>20%")])
+        assert [v["stage"] for v in violations] == ["mr.reduce_task"]
+        assert violations[0]["pct"] == pytest.approx(100.0)
+
+    def test_min_time_floor_suppresses_noise(self):
+        diff = diff_stage_tables(stage_table(baseline_records()), stage_table(slowed_records()))
+        # Floor above every stage's time: nothing can violate.
+        assert evaluate_rules(diff, [parse_fail_on("*>20%")], min_time=1e6) == []
+
+    def test_threshold_not_exceeded_passes(self):
+        diff = diff_stage_tables(stage_table(baseline_records()), stage_table(slowed_records()))
+        assert evaluate_rules(diff, [parse_fail_on("mr.*>150%")]) == []
+
+    def test_fault_ledger_delta(self):
+        diff = diff_traces(baseline_records(), slowed_records())
+        faults = diff["faults"]
+        assert faults["by_kind"]["fault.task_retry"] == {"base": 1, "cur": 0}
+        assert faults["base_wasted"] == pytest.approx(1.5)
+        assert faults["cur_wasted"] == 0.0
+
+    def test_render_mentions_everything(self):
+        diff = diff_traces(baseline_records(), slowed_records())
+        violations = evaluate_rules(diff["stages"], [parse_fail_on("mr.*>20%")])
+        text = render_trace_diff(diff, violations)
+        assert "== Stage deltas ==" in text
+        assert "mr.reduce_task" in text
+        assert "fault.task_retry" in text
+        assert "FAIL mr.reduce_task" in text
+        assert "== Regression gate ==" in text
+
+
+class TestDiffCLI:
+    """The acceptance criterion: nonzero exit on a gated 2x slowdown."""
+
+    def test_gated_slowdown_exits_nonzero(self, tmp_path, capsys):
+        base = write_trace(tmp_path / "base.jsonl", baseline_records())
+        cur = write_trace(tmp_path / "cur.jsonl", slowed_records(2.0))
+        code = cli_main(["trace", "diff", base, cur, "--fail-on", "mr.*>20%"])
+        assert code == 1
+        assert "FAIL mr.reduce_task" in capsys.readouterr().out
+
+    def test_same_trace_passes_the_gate(self, tmp_path, capsys):
+        base = write_trace(tmp_path / "base.jsonl", baseline_records())
+        cur = write_trace(tmp_path / "cur.jsonl", baseline_records())
+        code = cli_main(["trace", "diff", base, cur, "--fail-on", "mr.*>20%"])
+        assert code == 0
+        assert "all rules passed" in capsys.readouterr().out
+
+    def test_no_rules_never_fails(self, tmp_path, capsys):
+        base = write_trace(tmp_path / "base.jsonl", baseline_records())
+        cur = write_trace(tmp_path / "cur.jsonl", slowed_records(4.0))
+        code = cli_main(["trace", "diff", base, cur])
+        assert code == 0
+        assert "== Regression gate ==" not in capsys.readouterr().out
+
+    def test_malformed_fail_on_is_a_usage_error(self, tmp_path):
+        base = write_trace(tmp_path / "base.jsonl", baseline_records())
+        with pytest.raises(SystemExit):
+            cli_main(["trace", "diff", base, base, "--fail-on", "not-a-rule"])
+
+    def test_min_time_flag_passes_through(self, tmp_path, capsys):
+        base = write_trace(tmp_path / "base.jsonl", baseline_records())
+        cur = write_trace(tmp_path / "cur.jsonl", slowed_records(2.0))
+        code = cli_main(
+            ["trace", "diff", base, cur, "--fail-on", "mr.*>20%", "--min-time", "1000000"]
+        )
+        assert code == 0
