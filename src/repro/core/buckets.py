@@ -48,19 +48,45 @@ class Buckets:
 
     @property
     def sizes(self) -> np.ndarray:
-        """(B,) bucket sizes N_i; sums to the number of points."""
-        return np.bincount(self.assignments, minlength=self.n_buckets)
+        """(B,) bucket sizes N_i; sums to the number of points.
+
+        Computed once and cached (buckets are immutable by convention —
+        every merge/fold builds a new :class:`Buckets`); the cached array
+        is marked read-only so a caller cannot silently corrupt it.
+        """
+        cached = self.__dict__.get("_sizes_cache")
+        if cached is None:
+            cached = np.bincount(self.assignments, minlength=self.n_buckets)
+            cached.setflags(write=False)
+            self.__dict__["_sizes_cache"] = cached
+        return cached
+
+    def _member_index(self):
+        """Cached ``(order, boundaries)`` pair: one stable argsort shared by
+        every member lookup instead of an O(n) scan per bucket."""
+        cached = self.__dict__.get("_member_index_cache")
+        if cached is None:
+            order = np.argsort(self.assignments, kind="stable")
+            boundaries = np.searchsorted(
+                self.assignments[order], np.arange(self.n_buckets + 1)
+            )
+            order.setflags(write=False)
+            cached = (order, boundaries)
+            self.__dict__["_member_index_cache"] = cached
+        return cached
 
     def members(self, bucket_id: int) -> np.ndarray:
         """Point indices belonging to ``bucket_id``, in input order."""
         if not 0 <= bucket_id < self.n_buckets:
             raise IndexError(f"bucket_id {bucket_id} out of range [0, {self.n_buckets})")
-        return np.nonzero(self.assignments == bucket_id)[0]
+        order, boundaries = self._member_index()
+        # Stable sort keeps equal keys in input order, so the slice is
+        # ascending — identical to the nonzero scan it replaces.
+        return order[boundaries[bucket_id] : boundaries[bucket_id + 1]]
 
     def iter_members(self):
         """Yield ``(bucket_id, indices)`` for every bucket."""
-        order = np.argsort(self.assignments, kind="stable")
-        boundaries = np.searchsorted(self.assignments[order], np.arange(self.n_buckets + 1))
+        order, boundaries = self._member_index()
         for b in range(self.n_buckets):
             yield b, order[boundaries[b] : boundaries[b + 1]]
 

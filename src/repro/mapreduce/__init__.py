@@ -22,9 +22,14 @@ deployment story needs:
   backends for real-core task parallelism (``REPRO_N_JOBS``).
 """
 
-from repro.mapreduce.types import KeyValue, MapTaskResult, JobSpec
+from repro.mapreduce.types import KeyValue, MapTaskResult, JobSpec, RecordBatch
 from repro.mapreduce.counters import Counters
-from repro.mapreduce.engine import MapReduceEngine, stable_hash
+from repro.mapreduce.engine import (
+    MapReduceEngine,
+    stable_hash,
+    data_plane_enabled,
+    resolve_data_plane,
+)
 from repro.mapreduce.executor import (
     ExecutorError,
     ParallelExecutor,
@@ -71,9 +76,12 @@ __all__ = [
     "KeyValue",
     "MapTaskResult",
     "JobSpec",
+    "RecordBatch",
     "Counters",
     "MapReduceEngine",
     "stable_hash",
+    "data_plane_enabled",
+    "resolve_data_plane",
     "ExecutorError",
     "SerialExecutor",
     "ParallelExecutor",

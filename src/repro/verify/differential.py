@@ -22,7 +22,11 @@ synthetic workload (the shape of the paper's Section-5.3 comparison):
    mid-run whose last checkpoint is then bit-flipped at rest must, on
    resume, quarantine the damaged object (``<key>.corrupt``),
    re-execute that step, and still match the uninterrupted run
-   bit-for-bit (labels and counters).
+   bit-for-bit (labels and counters);
+7. **batched vs record data plane** — the vectorized columnar path and
+   the record-at-a-time reference path must produce bit-identical
+   labels, counters, and simulated makespans (only real wall-clock may
+   differ).
 
 Every run executes with the invariant layer on (``validate=True``), so a
 passing report also certifies the stage-boundary contracts of
@@ -279,6 +283,25 @@ def run_differential_suite(
         }
 
     _run_check(report, "storage.corrupt_checkpoint_resume", check_corrupt_checkpoint_resume)
+
+    # -- 7. batched vs record data plane -------------------------------------
+    def check_batched_vs_record():
+        # serial_dist ran on the session default (batched unless disabled);
+        # pin both planes explicitly so the check is meaningful either way.
+        batched = distributed(SerialExecutor(), data_plane="batched").run(X)
+        record = distributed(SerialExecutor(), data_plane="record").run(X)
+        same_labels = bool(np.array_equal(batched.labels, record.labels))
+        same_counters = _counters_equal(batched.counters, record.counters)
+        same_makespan = batched.makespan == record.makespan
+        same_stage_makespans = batched.stage_makespans == record.stage_makespans
+        return same_labels and same_counters and same_makespan and same_stage_makespans, {
+            "labels_identical": same_labels,
+            "counters_identical": same_counters,
+            "makespan_identical": same_makespan,
+            "stage_makespans_identical": same_stage_makespans,
+        }
+
+    _run_check(report, "data_plane.batched_vs_record", check_batched_vs_record)
 
     return report
 

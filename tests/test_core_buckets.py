@@ -45,6 +45,30 @@ class TestGroupBySignature:
         with pytest.raises(ValueError):
             group_by_signature(np.zeros((2, 2), dtype=np.uint64), 2)
 
+    def test_sizes_cached_and_read_only(self):
+        b = make_buckets([1, 1, 2, 3, 3, 3], 2)
+        first = b.sizes
+        assert b.sizes is first  # bincount runs once, not per access
+        assert not first.flags.writeable
+        with pytest.raises(ValueError):
+            first[0] = 99
+
+    def test_members_match_nonzero_scan(self):
+        # The cached argsort index must reproduce the original O(n)-scan
+        # semantics exactly: ascending input order within each bucket.
+        rng = np.random.default_rng(7)
+        b = make_buckets(rng.integers(0, 10, size=200), 4)
+        for bucket_id in range(b.n_buckets):
+            expected = np.nonzero(b.assignments == bucket_id)[0]
+            assert np.array_equal(b.members(bucket_id), expected)
+
+    def test_member_index_shared_between_lookups(self):
+        b = make_buckets([4, 2, 4, 9, 2], 4)
+        b.members(0)
+        cached = b.__dict__["_member_index_cache"]
+        list(b.iter_members())
+        assert b.__dict__["_member_index_cache"] is cached
+
 
 class TestMergeBuckets:
     def test_noop_when_p_equals_m(self):

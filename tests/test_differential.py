@@ -52,6 +52,7 @@ class TestSuite:
             "dasc.local_vs_distributed",
             "quality.dasc_vs_exact_sc",
             "storage.corrupt_checkpoint_resume",
+            "data_plane.batched_vs_record",
         }
 
     def test_serial_parallel_bit_identical(self, report):
@@ -76,6 +77,13 @@ class TestSuite:
         assert check.details["counters_identical"]
         assert check.details["quarantined"]
         assert check.details["step0_reexecuted"]
+
+    def test_data_planes_bit_identical(self, report):
+        check = {c.name: c for c in report.checks}["data_plane.batched_vs_record"]
+        assert check.details["labels_identical"]
+        assert check.details["counters_identical"]
+        assert check.details["makespan_identical"]
+        assert check.details["stage_makespans_identical"]
 
     def test_quality_gates(self, report):
         check = {c.name: c for c in report.checks}["quality.dasc_vs_exact_sc"]

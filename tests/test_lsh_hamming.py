@@ -60,6 +60,22 @@ class TestPopcount:
         assert popcount(np.array([0], dtype=np.uint64))[0] == 0
         assert popcount(np.array([2**64 - 1], dtype=np.uint64))[0] == 64
 
+    @given(st.lists(uint64s, min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_swar_fallback_parity(self, values):
+        """The hardware (np.bitwise_count) and SWAR paths agree exactly."""
+        from repro.lsh.hamming import _popcount_swar
+
+        arr = np.array(values, dtype=np.uint64)
+        assert np.array_equal(popcount(arr), _popcount_swar(arr))
+
+    def test_fallback_used_when_bitwise_count_absent(self, monkeypatch):
+        import repro.lsh.hamming as hm
+
+        monkeypatch.setattr(hm, "_HAS_BITWISE_COUNT", False)
+        arr = np.array([0, 1, 3, 2**64 - 1], dtype=np.uint64)
+        assert hm.popcount(arr).tolist() == [0, 1, 2, 64]
+
 
 class TestHamming:
     @given(uint64s, uint64s)
