@@ -18,6 +18,7 @@ Quickstart
 from repro.core import DASC, DASCConfig, default_n_bits, default_n_clusters
 from repro.spectral import SpectralClustering, KMeans
 from repro.baselines import PSC, NystromSpectralClustering
+from repro.serving import AssignmentService, DASCModel
 
 __version__ = "1.0.0"
 
@@ -30,5 +31,7 @@ __all__ = [
     "KMeans",
     "PSC",
     "NystromSpectralClustering",
+    "AssignmentService",
+    "DASCModel",
     "__version__",
 ]

@@ -154,6 +154,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a JSON-lines trace incl. the storage fault ledger",
     )
 
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="serving drill: export a fitted model, round-trip it through a chaotic store, report latency quantiles",
+    )
+    p_serve.add_argument("-n", "--n-samples", type=int, default=400)
+    p_serve.add_argument("-k", "--n-clusters", type=int, default=4)
+    p_serve.add_argument("-d", "--n-features", type=int, default=16)
+    p_serve.add_argument("--cluster-std", type=float, default=0.03)
+    p_serve.add_argument("--seed", type=int, default=0, help="workload/model seed")
+    p_serve.add_argument(
+        "--n-queries", type=int, default=2000,
+        help="jittered out-of-sample queries to serve after the training replay",
+    )
+    p_serve.add_argument(
+        "--noise", type=float, default=0.3,
+        help="query jitter std around training points (exercises the routing ladder)",
+    )
+    p_serve.add_argument("--batch-size", type=int, default=256, help="service micro-batch width")
+    p_serve.add_argument("--cache-size", type=int, default=4096, help="signature-route LRU capacity")
+    p_serve.add_argument(
+        "--error-rate", type=float, default=0.05,
+        help="ChaosStore transient InternalError probability on the model round-trip",
+    )
+    p_serve.add_argument(
+        "--torn-rate", type=float, default=0.05,
+        help="probability a stored payload lands truncated",
+    )
+    p_serve.add_argument(
+        "--corrupt-rate", type=float, default=0.05,
+        help="probability a stored payload lands with a flipped bit",
+    )
+    p_serve.add_argument("--storage-seed", type=int, default=7, help="fault-schedule seed")
+    p_serve.add_argument(
+        "--p99-max", type=float, default=None, metavar="SECONDS",
+        help="fail if per-point p99 assignment latency exceeds this",
+    )
+    p_serve.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a JSON-lines trace of the serving batches",
+    )
+
     p_trace = sub.add_parser("trace", help="inspect recorded traces")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
     p_report = trace_sub.add_parser(
@@ -423,6 +464,123 @@ def _cmd_chaos(args) -> int:
     return 0 if all(checks.values()) else 1
 
 
+def _cmd_serve_bench(args) -> int:
+    import contextlib
+
+    from repro.core.config import DASCConfig
+    from repro.core.dasc import DASC
+    from repro.data.synthetic import make_blobs
+    from repro.mapreduce.storage import (
+        ChaosStore,
+        CorruptObjectError,
+        RetryPolicy,
+        S3Store,
+        StorageFaultPolicy,
+    )
+    from repro.observability import trace_to
+    from repro.serving import AssignmentService, DASCModel
+
+    X, _ = make_blobs(
+        n_samples=args.n_samples, n_clusters=args.n_clusters,
+        n_features=args.n_features, cluster_std=args.cluster_std, seed=args.seed,
+    )
+    scope = trace_to(args.trace) if args.trace else contextlib.nullcontext()
+    with scope as tracer:
+        if tracer is not None:
+            tracer.meta(
+                command="serve-bench", n_points=int(X.shape[0]),
+                n_queries=args.n_queries, batch_size=args.batch_size,
+                storage_seed=args.storage_seed,
+            )
+        estimator = DASC(config=DASCConfig(n_clusters=args.n_clusters, seed=args.seed))
+        labels = estimator.fit_predict(X)
+        artifact = estimator.export_model(X)
+
+        # Round-trip the artifact through a chaotic store: the hardened
+        # write-verify-promote path must absorb the injected faults.
+        policy = StorageFaultPolicy(
+            error_rate=args.error_rate, torn_write_rate=args.torn_rate,
+            corrupt_rate=args.corrupt_rate, latency=(0.001, 0.01),
+            seed=args.storage_seed,
+        )
+        store = ChaosStore(policy=policy)
+        retry = RetryPolicy(max_attempts=16, deadline=300.0, seed=args.storage_seed)
+        artifact.save(store, "models/serve-bench", retry=retry)
+        service = AssignmentService.from_store(
+            store, "models/serve-bench", retry=retry,
+            batch_size=args.batch_size, cache_size=args.cache_size,
+        )
+
+        # Drill 1: self-consistency — the training set must reproduce the
+        # fit labels bit-identically through the served model.
+        self_consistent = bool(np.array_equal(service.assign(X), labels))
+
+        # Drill 2: serve jittered out-of-sample queries (the latency numbers).
+        rng = np.random.default_rng(args.seed + 1)
+        picks = rng.integers(X.shape[0], size=args.n_queries)
+        queries = X[picks] + rng.normal(scale=args.noise, size=(args.n_queries, X.shape[1]))
+        service.assign(queries)
+
+        # Drill 3: a model corrupted at rest must be quarantined on load,
+        # and a re-published model under the same key must load cleanly.
+        plain = S3Store()
+        artifact.save(plain, "models/at-rest")
+        damaged = bytearray(plain.get("models/at-rest"))
+        damaged[len(damaged) // 2] ^= 0xFF
+        plain.put("models/at-rest", bytes(damaged))
+        try:
+            DASCModel.load(plain, "models/at-rest")
+            quarantined = False
+        except CorruptObjectError:
+            quarantined = plain.exists("models/at-rest.corrupt") and not plain.exists(
+                "models/at-rest"
+            )
+        artifact.save(plain, "models/at-rest")
+        reload_ok = bool(
+            np.array_equal(DASCModel.load(plain, "models/at-rest").assign(X), labels)
+        )
+
+    summary = service.latency_summary()
+    mix = service.route_mix()
+    checks = {
+        "self_consistency": self_consistent,
+        "corrupt_model_quarantined": bool(quarantined),
+        "reload_after_quarantine": reload_ok,
+    }
+    if args.p99_max is not None:
+        checks["p99_gate"] = summary["p99_s"] is not None and summary["p99_s"] <= args.p99_max
+    print(
+        f"serving bench (n_train={X.shape[0]}, n_queries={args.n_queries}, "
+        f"batch={args.batch_size}, cache={args.cache_size}, noise={args.noise})",
+        file=sys.stdout,
+    )
+    for name, passed in checks.items():
+        print(f"  {'PASS' if passed else 'FAIL'}  {name}", file=sys.stdout)
+    us = lambda v: "n/a" if v is None else f"{v * 1e6:.1f}us"
+    print(
+        f"  latency/pt: p50 {us(summary['p50_s'])}  p95 {us(summary['p95_s'])}  "
+        f"p99 {us(summary['p99_s'])}  mean {us(summary['mean_s'])}",
+        file=sys.stdout,
+    )
+    throughput = summary["throughput_pts_per_s"]
+    print(
+        f"  throughput: {throughput:.0f} pts/s over {summary['batches']} batches "
+        f"({summary['requests']} requests)",
+        file=sys.stdout,
+    )
+    print(
+        "  routing: "
+        + ", ".join(f"{k}={mix[k]}" for k in ("exact", "near", "nearest", "fallback"))
+        + f"; cache hits {mix['cache_hits']}/{mix['cache_hits'] + mix['cache_misses']}",
+        file=sys.stdout,
+    )
+    injected = ", ".join(f"{k}×{v}" for k, v in sorted(store.injected.items())) or "none"
+    print(f"  injected store faults: {injected}", file=sys.stdout)
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    return 0 if all(checks.values()) else 1
+
+
 class _EmptyTraceError(Exception):
     pass
 
@@ -532,6 +690,8 @@ def main(argv=None) -> int:
         return _cmd_verify(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     return _cmd_analyze(args)
 
 

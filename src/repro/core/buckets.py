@@ -41,6 +41,16 @@ class Buckets:
     signatures: np.ndarray
     n_bits: int
 
+    def __post_init__(self):
+        # Buckets are immutable by convention (every merge/fold builds a new
+        # instance) and `sizes`/`members` cache off the stored arrays, so a
+        # post-construction mutation would silently serve stale members.
+        # Freeze both arrays up front: writes raise instead of corrupting.
+        self.assignments = np.asarray(self.assignments)
+        self.signatures = np.asarray(self.signatures, dtype=np.uint64)
+        self.assignments.setflags(write=False)
+        self.signatures.setflags(write=False)
+
     @property
     def n_buckets(self) -> int:
         """Number of buckets B."""

@@ -134,6 +134,7 @@ class DASC:
         self.signatures_: np.ndarray | None = None
         self.n_bits_: int | None = None
         self.sigma_: float | None = None
+        self.kernel_: Kernel | None = None
         self.cluster_allocation_: np.ndarray | None = None
         self.stopwatch_ = Stopwatch()
         self.memory_ = MemoryLedger()
@@ -201,6 +202,7 @@ class DASC:
         tracer = get_tracer()
         buckets = self.partition(X)
         kernel = self._resolve_kernel(X)
+        self.kernel_ = kernel
         with self.stopwatch_.lap("kernel"), tracer.span("dasc.kernel") as span:
             approx = build_approximate_kernel(
                 X,
@@ -322,6 +324,75 @@ class DASC:
     def fit_predict(self, X) -> np.ndarray:
         """Fit and return the global labels."""
         return self.fit(X).labels_
+
+    def export_model(self, X):
+        """Freeze the fitted clustering into a servable ``DASCModel``.
+
+        ``X`` must be the matrix :meth:`fit` saw (verified by re-hashing):
+        the stored Gram blocks are replayed through the spectral stage with
+        the exact seed draws of the fit, capturing each bucket's Nyström
+        artifacts, so a training point re-presented to the exported model
+        routes by exact signature and reproduces its fit label.
+        """
+        from repro.serving.model import assemble_model, attach_global_labels, fit_bucket_model
+
+        if self.labels_ is None or self.approx_kernel_ is None:
+            raise RuntimeError("fit the estimator before export_model()")
+        X = check_2d(X)
+        if X.shape[0] != self.labels_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[0]} rows, the fit saw {self.labels_.shape[0]}"
+            )
+        if not np.array_equal(self.hasher_.hash(X), self.signatures_):
+            raise ValueError(
+                "X does not hash to the fitted signatures; pass the training matrix fit() saw"
+            )
+        approx = self.approx_kernel_
+        seed_rng = as_rng(self.config.seed)
+        bucket_models = []
+        for b, (idx, block) in enumerate(zip(approx.bucket_indices, approx.blocks)):
+            k_i = int(self.cluster_allocation_[b])
+            # Same draw condition and order as _fit_traced, so the replay
+            # consumes the seed stream exactly as the fit did.
+            if k_i < block.shape[0] and k_i > 1:
+                eig_seed = int(seed_rng.integers(2**31))
+                km_seed = int(seed_rng.integers(2**31))
+            else:
+                eig_seed = km_seed = None
+            bm, local = fit_bucket_model(
+                block,
+                X[idx],
+                k_i,
+                eig_seed,
+                km_seed,
+                eig_backend=self.config.eig_backend,
+                kmeans_n_init=self.config.kmeans_n_init,
+            )
+            bucket_models.append(attach_global_labels(bm, local, self.labels_[idx]))
+        # Merged buckets keep only their leader's signature, so the routing
+        # table is built from the per-point signatures: every signature seen
+        # in training maps to the final bucket its points ended up in.
+        unique_sigs, first = np.unique(self.signatures_, return_index=True)
+        table = dict(
+            zip(unique_sigs.tolist(), self.buckets_.assignments[first].tolist())
+        )
+        return assemble_model(
+            hasher=self.hasher_,
+            kernel=self.kernel_,
+            zero_diagonal=self.config.zero_diagonal,
+            bucket_models=bucket_models,
+            table=table,
+            labels=self.labels_,
+            X=X,
+            n_clusters=self.n_clusters_,
+            meta={
+                "source": "dasc",
+                "n_train": int(X.shape[0]),
+                "seed": self.config.seed,
+                "sigma": self.sigma_,
+                "n_bits": self.n_bits_,
+            },
+        )
 
     # -- internals ----------------------------------------------------------
 

@@ -63,8 +63,11 @@ class StreamingDASC:
             self.config.n_clusters = n_clusters
         self._hasher = None
         self._sigma: float | None = None
+        # Per raw signature: a list of 2-D chunk slices (points) and a
+        # matching list of 1-D absorption-index arrays. Concatenated they
+        # give the bucket's points in absorption order.
         self._bucket_points: dict[int, list[np.ndarray]] = defaultdict(list)
-        self._bucket_order: dict[int, list[int]] = defaultdict(list)
+        self._bucket_order: dict[int, list[np.ndarray]] = defaultdict(list)
         self._n_seen = 0
         self.labels_: np.ndarray | None = None
         self.n_clusters_: int | None = None
@@ -98,11 +101,18 @@ class StreamingDASC:
         chunk = check_2d(chunk)
         with get_tracer().span("streaming.absorb_chunk", n_points=chunk.shape[0]) as span:
             signatures = self._hasher.hash(chunk)
-            for row, sig in zip(chunk, signatures):
-                key = int(sig)
-                self._bucket_points[key].append(row)
-                self._bucket_order[key].append(self._n_seen)
-                self._n_seen += 1
+            # One stable argsort groups the chunk by signature; each bucket
+            # receives a single 2-D slice whose rows keep chunk order — the
+            # same per-bucket point order the per-row append produced, at
+            # O(n log n) instead of n dict/list operations.
+            order = np.argsort(signatures, kind="stable")
+            unique, starts = np.unique(signatures[order], return_index=True)
+            bounds = np.append(starts, signatures.shape[0])
+            for key, lo, hi in zip(unique.tolist(), starts.tolist(), bounds[1:].tolist()):
+                rows = order[lo:hi]
+                self._bucket_points[key].append(chunk[rows])
+                self._bucket_order[key].append(self._n_seen + rows)
+            self._n_seen += chunk.shape[0]
             span.set("n_absorbed", self._n_seen)
             span.set("n_buckets", len(self._bucket_points))
         return self
@@ -117,15 +127,18 @@ class StreamingDASC:
         """Occupied buckets so far."""
         return len(self._bucket_points)
 
+    def _bucket_size(self, key: int) -> int:
+        return sum(c.shape[0] for c in self._bucket_points[key])
+
     def bucket_sizes(self) -> np.ndarray:
         """Sizes of the occupied buckets (descending)."""
-        return np.sort([len(v) for v in self._bucket_points.values()])[::-1].astype(np.int64)
+        return np.sort([self._bucket_size(k) for k in self._bucket_points])[::-1].astype(np.int64)
 
     def peak_block_bytes(self) -> int:
         """Largest single Gram block the finalize step will allocate."""
         if not self._bucket_points:
             return 0
-        largest = max(len(v) for v in self._bucket_points.values())
+        largest = max(self._bucket_size(k) for k in self._bucket_points)
         return largest * largest * 4
 
     # -- finalisation -----------------------------------------------------------
@@ -145,41 +158,54 @@ class StreamingDASC:
         ) as span:
             if tracer.enabled:
                 hist = tracer.metrics.histogram("streaming.bucket_size")
-                for pts in self._bucket_points.values():
-                    hist.observe(len(pts))
+                for key in self._bucket_points:
+                    hist.observe(self._bucket_size(key))
                 tracer.metrics.gauge("streaming.peak_block_bytes").set(self.peak_block_bytes())
             labels = self._finalize_impl()
             span.set("n_clusters", self.n_clusters_)
         return labels
 
-    def _finalize_impl(self) -> np.ndarray:
-        k_total = self.config.resolve_n_clusters(self._n_seen)
-        kernel = GaussianKernel(self._sigma)
-        seed_rng = as_rng(self.config.seed)
+    def _assemble_groups(self):
+        """``(groups, table)`` — the deterministic finalize work list.
 
-        # Assemble per-bucket arrays; sweep small buckets into a residual.
-        groups: list[tuple[np.ndarray, list[int]]] = []
+        ``groups`` holds ``(points, absorption_indices)`` per surviving
+        bucket (raw-signature order, small buckets swept into one trailing
+        residual group); ``table`` maps every occupied raw signature to its
+        group index, which is what the serving plane routes against.
+        """
+        groups: list[tuple[np.ndarray, np.ndarray]] = []
+        table: dict[int, int] = {}
         residual_pts: list[np.ndarray] = []
-        residual_idx: list[int] = []
+        residual_idx: list[np.ndarray] = []
+        residual_keys: list[int] = []
         for key in sorted(self._bucket_points):
-            pts = self._bucket_points[key]
-            idx = self._bucket_order[key]
-            if len(pts) < self.config.min_bucket_size:
-                residual_pts.extend(pts)
-                residual_idx.extend(idx)
+            chunks = self._bucket_points[key]
+            if self._bucket_size(key) < self.config.min_bucket_size:
+                residual_pts.extend(chunks)
+                residual_idx.extend(self._bucket_order[key])
+                residual_keys.append(key)
             else:
-                groups.append((np.asarray(pts), idx))
+                table[key] = len(groups)
+                groups.append((np.vstack(chunks), np.concatenate(self._bucket_order[key])))
         if residual_pts:
-            groups.append((np.asarray(residual_pts), residual_idx))
+            for key in residual_keys:
+                table[key] = len(groups)
+            groups.append((np.vstack(residual_pts), np.concatenate(residual_idx)))
+        return groups, table
 
+    def _block_plan(self, groups, k_total):
+        """Yield ``(X_b, idx, S, k_i)`` per group.
+
+        This is the exact Gram block and cluster budget the finalize loop
+        consumes; :meth:`export_model` replays the same plan so its
+        captured artifacts see bit-identical inputs.
+        """
+        kernel = GaussianKernel(self._sigma)
         sizes = np.array([g[0].shape[0] for g in groups], dtype=np.int64)
         from repro.core.allocation import allocate_clusters, choose_k_eigengap
 
         policy = "proportional" if self.config.allocation == "eigengap" else self.config.allocation
         ks = allocate_clusters(sizes, k_total, policy=policy)
-
-        labels = np.full(self._n_seen, -1, dtype=np.int64)
-        offset = 0
         for (X_b, idx), k_floor in zip(groups, ks):
             n_b = X_b.shape[0]
             k_i = int(k_floor)
@@ -190,8 +216,18 @@ class StreamingDASC:
                     # Data-driven K_i with the proportional share as a floor
                     # (mirrors the batch estimator's under-allocation guard).
                     k_i = max(k_i, choose_k_eigengap(S, min(k_total, n_b)))
+            yield X_b, idx, S, k_i
+
+    def _finalize_impl(self) -> np.ndarray:
+        k_total = self.config.resolve_n_clusters(self._n_seen)
+        seed_rng = as_rng(self.config.seed)
+        groups, _ = self._assemble_groups()
+
+        labels = np.full(self._n_seen, -1, dtype=np.int64)
+        offset = 0
+        for X_b, idx, S, k_i in self._block_plan(groups, k_total):
             local = self._cluster_block_from_gram(X_b, S, k_i, seed_rng)
-            labels[np.asarray(idx)] = offset + local
+            labels[idx] = offset + local
             offset += k_i
         if (labels < 0).any():
             raise RuntimeError(
@@ -199,7 +235,7 @@ class StreamingDASC:
             )
         if self.config.refine_to_k and offset > k_total:
             all_points = np.concatenate([g[0] for g in groups])
-            all_idx = np.concatenate([np.asarray(g[1]) for g in groups])
+            all_idx = np.concatenate([g[1] for g in groups])
             order = np.argsort(all_idx)
             labels = merge_clusters_to_k(all_points[order], labels, k_total)
             offset = k_total
@@ -216,3 +252,60 @@ class StreamingDASC:
         eig_seed = int(seed_rng.integers(2**31))
         Y = spectral_embedding(S, k_i, backend=self.config.eig_backend, seed=eig_seed)
         return KMeans(k_i, n_init=self.config.kmeans_n_init, seed=int(seed_rng.integers(2**31))).fit_predict(Y)
+
+    # -- serving export ---------------------------------------------------------
+
+    def export_model(self):
+        """Freeze the finalized clustering into a servable ``DASCModel``.
+
+        Replays the finalize plan — same group assembly, Gram blocks, and
+        seed-draw order — capturing each block's spectral artifacts, so a
+        training point re-presented to the exported model routes by exact
+        signature to its group and reproduces its finalize label.
+        """
+        from repro.serving.model import assemble_model, attach_global_labels, fit_bucket_model
+
+        if self.labels_ is None:
+            raise RuntimeError("call finalize() before export_model()")
+        k_total = self.config.resolve_n_clusters(self._n_seen)
+        seed_rng = as_rng(self.config.seed)
+        groups, table = self._assemble_groups()
+        bucket_models = []
+        for X_b, idx, S, k_i in self._block_plan(groups, k_total):
+            # Same draw condition as _cluster_block_from_gram, so the replay
+            # consumes the seed stream in exactly the finalize order.
+            if k_i < X_b.shape[0] and k_i != 1:
+                eig_seed = int(seed_rng.integers(2**31))
+                km_seed = int(seed_rng.integers(2**31))
+            else:
+                eig_seed = km_seed = None
+            bm, local = fit_bucket_model(
+                S,
+                X_b,
+                k_i,
+                eig_seed,
+                km_seed,
+                eig_backend=self.config.eig_backend,
+                kmeans_n_init=self.config.kmeans_n_init,
+            )
+            bucket_models.append(attach_global_labels(bm, local, self.labels_[idx]))
+        all_points = np.concatenate([g[0] for g in groups])
+        all_idx = np.concatenate([g[1] for g in groups])
+        order = np.argsort(all_idx)
+        return assemble_model(
+            hasher=self._hasher,
+            kernel=GaussianKernel(self._sigma),
+            zero_diagonal=self.config.zero_diagonal,
+            bucket_models=bucket_models,
+            table=table,
+            labels=self.labels_,
+            X=all_points[order],
+            n_clusters=self.n_clusters_,
+            meta={
+                "source": "streaming",
+                "n_train": int(self._n_seen),
+                "seed": self.config.seed,
+                "sigma": self._sigma,
+                "n_bits": self._n_bits,
+            },
+        )

@@ -123,11 +123,19 @@ class KMeans:
             np.add.at(sums, labels, X)
             nonempty = counts > 0
             new_centers[nonempty] = sums[nonempty] / counts[nonempty, None]
-            # Re-seed empty clusters on the worst-served points.
-            for c in np.nonzero(~nonempty)[0]:
-                worst = int(np.argmax(d2[np.arange(X.shape[0]), labels]))
-                new_centers[c] = X[worst]
-                labels[worst] = c
+            # Re-seed empty clusters on the worst-served points. The
+            # distance-to-assigned-center vector is masked after every pick:
+            # argmax over the same stale vector would hand two empty
+            # clusters the *same* point (the second overwriting the first's
+            # label and leaving a cluster empty after all).
+            empty = np.nonzero(~nonempty)[0]
+            if empty.size:
+                farthest = d2[np.arange(X.shape[0]), labels].astype(np.float64)
+                for c in empty:
+                    worst = int(np.argmax(farthest))
+                    new_centers[c] = X[worst]
+                    labels[worst] = c
+                    farthest[worst] = -np.inf
             shift = np.linalg.norm(new_centers - centers)
             centers = new_centers
             scale = np.linalg.norm(centers) or 1.0

@@ -26,7 +26,11 @@ synthetic workload (the shape of the paper's Section-5.3 comparison):
 7. **batched vs record data plane** — the vectorized columnar path and
    the record-at-a-time reference path must produce bit-identical
    labels, counters, and simulated makespans (only real wall-clock may
-   differ).
+   differ);
+8. **serving assign vs fit** — the exported :class:`~repro.serving.DASCModel`
+   must route every training point by exact signature and reproduce the
+   fit labels bit-identically (the serving plane's self-consistency
+   contract).
 
 Every run executes with the invariant layer on (``validate=True``), so a
 passing report also certifies the stage-boundary contracts of
@@ -302,6 +306,30 @@ def run_differential_suite(
         }
 
     _run_check(report, "data_plane.batched_vs_record", check_batched_vs_record)
+
+    # -- 8. serving assign vs fit --------------------------------------------
+    def check_serving_assign_vs_fit():
+        model = serial_model.export_model(X)
+        assigned, details = model.assign(X, return_details=True)
+        all_exact = bool((details["methods"] == 0).all())
+        same_labels = bool(np.array_equal(assigned, serial_labels))
+        # Round-trip the artifact through the checksummed envelope plane so
+        # the served bytes, not just the in-memory object, carry the contract.
+        from repro.mapreduce.storage import S3Store
+        from repro.serving.model import DASCModel
+
+        store = S3Store()
+        model.save(store, "models/differential")
+        reloaded = DASCModel.load(store, "models/differential")
+        same_after_reload = bool(np.array_equal(reloaded.assign(X), serial_labels))
+        return all_exact and same_labels and same_after_reload, {
+            "all_routes_exact": all_exact,
+            "labels_identical": same_labels,
+            "labels_identical_after_reload": same_after_reload,
+            "n_buckets": model.n_buckets,
+        }
+
+    _run_check(report, "serving.assign_vs_fit", check_serving_assign_vs_fit)
 
     return report
 

@@ -103,6 +103,33 @@ class TestGenerateAndCluster:
         assert ledger["by_kind"].get("storage.quarantine", 0) >= 1
         assert ledger["by_kind"].get("fault.checkpoint_reexecuted", 0) >= 1
 
+    def test_serve_bench_args(self):
+        args = build_parser().parse_args(["serve-bench", "-n", "200", "--p99-max", "0.01"])
+        assert args.command == "serve-bench"
+        assert args.n_samples == 200
+        assert args.p99_max == 0.01
+        assert args.batch_size == 256
+        assert args.noise == 0.3  # enough jitter to exercise the near rung
+
+    def test_serve_bench_drill_passes_and_writes_trace(self, tmp_path, capsys):
+        from repro.observability import read_trace
+
+        trace = tmp_path / "serve.jsonl"
+        code = main([
+            "serve-bench", "-n", "150", "-k", "3", "--n-queries", "300",
+            "--trace", str(trace),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FAIL" not in out
+        assert "self_consistency" in out
+        assert "corrupt_model_quarantined" in out
+        assert "reload_after_quarantine" in out
+        assert "latency/pt" in out and "throughput" in out
+        assert "injected store faults" in out
+        records = read_trace(str(trace))
+        assert any(r.get("name") == "serving.batch" for r in records)
+
     def test_module_invocation(self, tmp_path):
         """python -m repro.cli works end to end."""
         data = tmp_path / "d.csv"

@@ -69,6 +69,18 @@ class TestGroupBySignature:
         list(b.iter_members())
         assert b.__dict__["_member_index_cache"] is cached
 
+    def test_stored_arrays_are_frozen(self):
+        # Buckets is shared across pipeline stages (and now frozen into
+        # serving models); in-place mutation of assignments/signatures would
+        # silently desynchronize cached sizes and member indices.
+        b = make_buckets([5, 3, 5, 3, 7], 3)
+        assert not b.assignments.flags.writeable
+        assert not b.signatures.flags.writeable
+        with pytest.raises(ValueError):
+            b.assignments[0] = 99
+        with pytest.raises(ValueError):
+            b.signatures[0] = np.uint64(99)
+
 
 class TestMergeBuckets:
     def test_noop_when_p_equals_m(self):

@@ -15,7 +15,7 @@ def chunks_of(X, size):
 class TestLifecycle:
     def test_partial_fit_before_calibrate(self, blobs_small):
         X, _ = blobs_small
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuntimeError, match="calibrate"):
             StreamingDASC(4).partial_fit(X)
 
     def test_finalize_before_data(self, blobs_small):
@@ -75,6 +75,36 @@ class TestCorrectness:
         assert labels.shape == (X.shape[0],)
         # Same-cluster ground-truth pairs should mostly share stream labels.
         assert clustering_accuracy(y, labels) > 0.9
+
+
+class TestVectorizedAbsorbRegression:
+    def test_bit_identical_to_per_row_reference(self, blobs_small):
+        """The argsort/np.unique grouping in partial_fit must leave the
+        bucket store — points, absorption indices, and the finalize labels
+        built from them — bit-identical to the per-row append loop it
+        replaced."""
+        X, _ = blobs_small
+        fast = StreamingDASC(4, config=DASCConfig(n_bits=4, seed=0)).calibrate(X)
+        ref = StreamingDASC(4, config=DASCConfig(n_bits=4, seed=0)).calibrate(X)
+        for chunk in chunks_of(X, 64):
+            fast.partial_fit(chunk)
+            # Reference: one dict/list append per point, in chunk order.
+            sigs = ref._hasher.hash(chunk)
+            for i in range(chunk.shape[0]):
+                key = int(sigs[i])
+                ref._bucket_points[key].append(chunk[i : i + 1])
+                ref._bucket_order[key].append(np.array([ref._n_seen + i], dtype=np.int64))
+            ref._n_seen += chunk.shape[0]
+        assert sorted(fast._bucket_points) == sorted(ref._bucket_points)
+        for key in fast._bucket_points:
+            assert np.array_equal(
+                np.vstack(fast._bucket_points[key]), np.vstack(ref._bucket_points[key])
+            )
+            assert np.array_equal(
+                np.concatenate(fast._bucket_order[key]),
+                np.concatenate(ref._bucket_order[key]),
+            )
+        assert np.array_equal(fast.finalize(), ref.finalize())
 
 
 class TestMemoryBound:

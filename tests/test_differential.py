@@ -53,6 +53,7 @@ class TestSuite:
             "quality.dasc_vs_exact_sc",
             "storage.corrupt_checkpoint_resume",
             "data_plane.batched_vs_record",
+            "serving.assign_vs_fit",
         }
 
     def test_serial_parallel_bit_identical(self, report):
@@ -84,6 +85,12 @@ class TestSuite:
         assert check.details["counters_identical"]
         assert check.details["makespan_identical"]
         assert check.details["stage_makespans_identical"]
+
+    def test_serving_assigns_fit_labels(self, report):
+        check = {c.name: c for c in report.checks}["serving.assign_vs_fit"]
+        assert check.details["all_routes_exact"]
+        assert check.details["labels_identical"]
+        assert check.details["labels_identical_after_reload"]
 
     def test_quality_gates(self, report):
         check = {c.name: c for c in report.checks}["quality.dasc_vs_exact_sc"]

@@ -100,6 +100,27 @@ class TestKMeans:
         with pytest.raises(RuntimeError):
             KMeans(2).predict(np.ones((3, 2)))
 
+    def test_two_simultaneous_empty_clusters_reseed_distinct_points(self, monkeypatch):
+        # Regression: when >=2 clusters go empty in the same Lloyd iteration,
+        # each must be re-seeded on a *different* worst-served point. The old
+        # code took argmax over the same stale distance vector for every
+        # empty cluster, handing them all the same point — the later writes
+        # overwrote the earlier labels and a cluster stayed empty.
+        import repro.spectral.kmeans as km_mod
+
+        X = np.array(
+            [[0.0, 0.0], [0.0, 1.0], [100.0, 100.0], [101.0, 100.0], [50.0, 0.0], [0.0, 50.0]]
+        )
+        # Crafted init: clusters 2 and 3 are far from every point, so both
+        # are empty after the first assignment step; the two worst-served
+        # points ([50,0] and [0,50]) are the distinct re-seed targets.
+        crafted = np.array([[0.0, 0.5], [100.5, 100.0], [-1000.0, 0.0], [0.0, -1000.0]])
+        monkeypatch.setattr(
+            km_mod, "kmeans_plus_plus_init", lambda X_, k, rng: crafted.copy()
+        )
+        km = KMeans(4, n_init=1, max_iter=1, seed=0).fit(X)
+        assert len(np.unique(km.labels_)) == 4
+
     def test_k_equals_n(self):
         X = np.arange(8, dtype=float).reshape(4, 2)
         labels = KMeans(4, seed=0).fit_predict(X)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import DASC, DASCConfig
-from repro.core.buckets import group_by_signature
+from repro.core.buckets import Buckets, group_by_signature
 from repro.observability import InMemorySink, Tracer, use_tracer
 from repro.verify import (
     InvariantViolation,
@@ -73,21 +73,30 @@ class TestBucketChecks:
             check_buckets(buckets, 5)
 
     def test_nondense_ids(self):
-        buckets = group_by_signature(np.array([1, 1, 2], dtype=np.uint64), 4)
-        buckets.assignments[:] = [0, 0, 0]  # bucket 1 left empty
+        # Stored arrays are frozen, so the broken partition (bucket 1 left
+        # empty) is built up front rather than mutated in.
+        good = group_by_signature(np.array([1, 1, 2], dtype=np.uint64), 4)
+        buckets = Buckets(
+            assignments=np.zeros(3, dtype=np.int64),
+            signatures=good.signatures,
+            n_bits=good.n_bits,
+        )
         with pytest.raises(InvariantViolation, match="no members"):
             check_buckets(buckets, 3)
 
     def test_out_of_range_ids(self):
-        buckets = group_by_signature(np.array([1, 1, 2], dtype=np.uint64), 4)
-        buckets.assignments[0] = 7
+        good = group_by_signature(np.array([1, 1, 2], dtype=np.uint64), 4)
+        broken = np.array([7, 0, 1], dtype=np.int64)
+        buckets = Buckets(assignments=broken, signatures=good.signatures, n_bits=good.n_bits)
         with pytest.raises(InvariantViolation, match="ids span"):
             check_buckets(buckets, 3)
 
     def test_representative_must_belong_to_a_member(self):
         sigs = np.array([1, 1, 2], dtype=np.uint64)
-        buckets = group_by_signature(sigs, 4)
-        buckets.signatures[0] = 9  # representative no member holds
+        good = group_by_signature(sigs, 4)
+        bad_sigs = good.signatures.copy()
+        bad_sigs[0] = 9  # representative no member holds
+        buckets = Buckets(assignments=good.assignments, signatures=bad_sigs, n_bits=good.n_bits)
         with pytest.raises(InvariantViolation, match="representative"):
             check_buckets(buckets, 3, point_signatures=sigs)
 
