@@ -1,0 +1,134 @@
+"""Autoscaling plane: elastic scale-up vs a static cluster.
+
+The ISSUE-10 acceptance bench. One DASC workload is shaped so stage 2
+has many balanced buckets (merging disabled, tight blobs): the pending
+reduce queue then divides across slots and an LPT lower bound well below
+the static projection, which is exactly when scaling up pays. The same
+flow runs twice — once on a static 2-node cluster, once with a
+:class:`TargetMakespan` autoscaler allowed to grow mid-flow — and the
+gates check the contract from three sides:
+
+* **speedup** — the autoscaled remaining makespan (stage-2 simulated
+  time plus every cold start and drain the autoscaler charged) must be
+  at least ``MIN_IMPROVEMENT`` times better than static,
+* **bit-identity** — labels and per-stage counters must match the
+  static run exactly (scaling may only move simulated time, never
+  results),
+* **replay** — crashing the driver after the LSH stage and resuming
+  must replay the identical scaling schedule and reach the identical
+  makespan, byte for byte, from the checkpointed decision log.
+"""
+
+import numpy as np
+
+from benchmarks._harness import print_table, run_once
+from repro.core.config import DASCConfig
+from repro.dasc_mr.driver import DistributedDASC
+from repro.data import make_blobs
+from repro.mapreduce import Autoscaler, TargetMakespan
+
+N_SAMPLES = 2_048
+N_CLUSTERS = 24
+N_FEATURES = 8
+N_BITS = 7
+STATIC_NODES = 2
+MAX_NODES = 16
+# The autoscaler must cut the remaining (stage-2) makespan by at least
+# this factor, *after* paying its own cold-start charges.
+MIN_IMPROVEMENT = 1.5
+
+
+def _config() -> DASCConfig:
+    # min_shared_bits == n_bits disables Eq.-6 merging, so the raw
+    # signature buckets survive: ~17 near-equal buckets, no dominant
+    # indivisible task to cap what extra slots can buy.
+    return DASCConfig(
+        n_clusters=N_CLUSTERS,
+        n_bits=N_BITS,
+        min_shared_bits=N_BITS,
+        min_bucket_size=10,
+        seed=0,
+    )
+
+
+def _dataset():
+    return make_blobs(
+        N_SAMPLES, n_clusters=N_CLUSTERS, n_features=N_FEATURES, cluster_std=0.01, seed=0
+    )[0]
+
+
+def test_autoscale_speedup_identity_and_replay(benchmark):
+    """TargetMakespan scale-up: >=1.5x remaining makespan, identical labels, replayable."""
+    X = _dataset()
+
+    def run_all():
+        static = DistributedDASC(config=_config(), n_nodes=STATIC_NODES).run(X)
+        target = static.stage_makespans["spectral"] / 4.0
+        cold_start = static.stage_makespans["spectral"] * 0.02
+
+        scaler = Autoscaler(
+            TargetMakespan(target=target, max_nodes=MAX_NODES), cold_start=cold_start
+        )
+        auto = DistributedDASC(
+            config=_config(), n_nodes=STATIC_NODES, autoscaler=scaler
+        ).run(X)
+
+        # Crash the driver right after the LSH stage, then resume: the
+        # checkpointed decision log must replay the same schedule.
+        replay_scaler = Autoscaler(
+            TargetMakespan(target=target, max_nodes=MAX_NODES), cold_start=cold_start
+        )
+        crashed = DistributedDASC(
+            config=_config(), n_nodes=STATIC_NODES, autoscaler=replay_scaler
+        )
+        flow_id = crashed.submit(X)
+        crashed.emr.run_job_flow(flow_id, max_steps=2)
+        resumed = crashed.resume(flow_id)
+        return static, auto, scaler, resumed, replay_scaler
+
+    static, auto, scaler, resumed, replay_scaler = run_once(benchmark, run_all)
+
+    # Gate 1: remaining-makespan improvement, overhead included.
+    remaining_static = static.stage_makespans["spectral"]
+    remaining_auto = auto.stage_makespans["spectral"] + scaler.overhead
+    improvement = remaining_static / remaining_auto
+    assert improvement >= MIN_IMPROVEMENT, (
+        f"autoscaled remaining makespan {remaining_auto:.0f}s is only "
+        f"{improvement:.2f}x better than static {remaining_static:.0f}s "
+        f"(need >= {MIN_IMPROVEMENT}x)"
+    )
+    ups = [t for t in scaler.schedule() if t[1] == "up"]
+    assert ups, "TargetMakespan never scaled up on the balanced-bucket workload"
+
+    # Gate 2: scaling may only move simulated time, never results.
+    assert np.array_equal(static.labels, auto.labels), "autoscaling changed labels"
+    assert static.counters == auto.counters, "autoscaling changed counters"
+
+    # Gate 3: crash/resume replays the identical scaling schedule.
+    assert replay_scaler.schedule() == scaler.schedule(), (
+        "resumed flow diverged from the checkpointed scaling schedule"
+    )
+    assert np.array_equal(static.labels, resumed.labels), "resume changed labels"
+    assert resumed.makespan == auto.makespan, (
+        f"resumed makespan {resumed.makespan} != uninterrupted {auto.makespan}"
+    )
+    assert resumed.resumed_steps, "resume restored no steps (crash did not happen)"
+
+    rows = [
+        ["static", static.n_nodes, f"{remaining_static:.0f}", "-", "-"],
+        [
+            "TargetMakespan",
+            scaler.summary()["final_nodes"],
+            f"{auto.stage_makespans['spectral']:.0f}",
+            f"{scaler.overhead:.0f}",
+            f"{improvement:.2f}x",
+        ],
+    ]
+    print_table(
+        f"autoscale ({N_SAMPLES} pts, {static.n_buckets} buckets, "
+        f"{len(scaler.schedule())} decisions)",
+        ["policy", "nodes", "stage-2 (s)", "overhead (s)", "speedup"],
+        rows,
+    )
+    for trigger, action, before, after in scaler.schedule():
+        print(f"  {trigger}: {action} {before} -> {after}")

@@ -29,6 +29,12 @@ Three subcommands cover the common workflows:
   (throttling, torn writes, bit flips) must match the fault-free run
   bit-for-bit, and a corrupted checkpoint must quarantine and resume
   cleanly; ``--trace`` records the run for ``repro trace report``.
+* ``repro autoscale`` — the elasticity drill: the distributed driver with
+  an :class:`~repro.mapreduce.autoscale.Autoscaler` resizing the cluster
+  mid-flow must reproduce the static run's labels and counters
+  bit-identically, a crashed-and-resumed flow must replay the identical
+  scaling schedule, and the remaining-makespan win (net of cold starts
+  and drains) is reported; ``--trace`` records the decision events.
 
 Installed as ``python -m repro.cli ...`` (no console-script entry point is
 registered so that offline ``setup.py develop`` installs stay simple).
@@ -152,6 +158,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--trace", default=None, metavar="FILE",
         help="record a JSON-lines trace incl. the storage fault ledger",
+    )
+
+    p_scale = sub.add_parser(
+        "autoscale",
+        help="elasticity drill: autoscaled vs static flow, bit-identity + schedule replay",
+    )
+    p_scale.add_argument("-n", "--n-samples", type=int, default=2048)
+    p_scale.add_argument("-k", "--n-clusters", type=int, default=24)
+    p_scale.add_argument("-d", "--n-features", type=int, default=8)
+    p_scale.add_argument("--cluster-std", type=float, default=0.01)
+    p_scale.add_argument("--seed", type=int, default=0, help="workload/model seed")
+    p_scale.add_argument(
+        "--n-bits", type=int, default=7,
+        help="signature length M (merging is disabled so buckets stay balanced)",
+    )
+    p_scale.add_argument("--n-nodes", type=int, default=2, help="provisioned cluster size")
+    p_scale.add_argument(
+        "--policy", choices=("target-makespan", "budget-cap"), default="target-makespan",
+    )
+    p_scale.add_argument(
+        "--target", type=float, default=None, metavar="SECONDS",
+        help="TargetMakespan SLO (default: a quarter of the static stage-2 makespan)",
+    )
+    p_scale.add_argument(
+        "--budget", type=float, default=None, metavar="NODE_SECONDS",
+        help="BudgetCap node-seconds ceiling (default: the static run's spend)",
+    )
+    p_scale.add_argument("--max-nodes", type=int, default=16, help="scale-up ceiling")
+    p_scale.add_argument(
+        "--cold-start", type=float, default=None, metavar="SECONDS",
+        help="boot latency charged per scale-up (default: 2%% of static stage 2)",
+    )
+    p_scale.add_argument(
+        "--drain-cost-per-block", type=float, default=1.0,
+        help="re-replication cost charged per block moved off a draining node",
+    )
+    p_scale.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a JSON-lines trace incl. the autoscale decision events",
     )
 
     p_serve = sub.add_parser(
@@ -464,6 +509,104 @@ def _cmd_chaos(args) -> int:
     return 0 if all(checks.values()) else 1
 
 
+def _cmd_autoscale(args) -> int:
+    import contextlib
+
+    from repro.core.config import DASCConfig
+    from repro.dasc_mr.driver import DistributedDASC
+    from repro.data.synthetic import make_blobs
+    from repro.mapreduce import Autoscaler, BudgetCap, TargetMakespan
+    from repro.observability import trace_to
+
+    X, _ = make_blobs(
+        n_samples=args.n_samples, n_clusters=args.n_clusters,
+        n_features=args.n_features, cluster_std=args.cluster_std, seed=args.seed,
+    )
+
+    def config() -> DASCConfig:
+        # min_shared_bits == n_bits disables Eq.-6 merging so stage 2 keeps
+        # many balanced buckets — the regime where elasticity can pay.
+        return DASCConfig(
+            n_clusters=args.n_clusters, n_bits=args.n_bits,
+            min_shared_bits=args.n_bits, min_bucket_size=10, seed=args.seed,
+        )
+
+    static = DistributedDASC(n_nodes=args.n_nodes, config=config()).run(X)
+    base = static.stage_makespans["spectral"]
+    cold_start = args.cold_start if args.cold_start is not None else base * 0.02
+
+    def make_scaler() -> Autoscaler:
+        if args.policy == "budget-cap":
+            budget = args.budget if args.budget is not None else static.makespan * args.n_nodes
+            policy = BudgetCap(node_seconds=budget)
+        else:
+            target = args.target if args.target is not None else base / 4.0
+            policy = TargetMakespan(target=target, max_nodes=args.max_nodes)
+        return Autoscaler(
+            policy, cold_start=cold_start, drain_cost_per_block=args.drain_cost_per_block
+        )
+
+    scope = trace_to(args.trace) if args.trace else contextlib.nullcontext()
+    with scope as tracer:
+        if tracer is not None:
+            tracer.meta(
+                command="autoscale", n_points=int(X.shape[0]), n_nodes=args.n_nodes,
+                policy=args.policy, cold_start=cold_start,
+            )
+        # Drill 1: the autoscaled flow end to end.
+        scaler = make_scaler()
+        auto = DistributedDASC(
+            n_nodes=args.n_nodes, config=config(), autoscaler=scaler
+        ).run(X)
+
+        # Drill 2: crash the driver after the LSH stage, resume, and demand
+        # the checkpointed decision log replays the same schedule.
+        replay_scaler = make_scaler()
+        crashed = DistributedDASC(
+            n_nodes=args.n_nodes, config=config(), autoscaler=replay_scaler
+        )
+        flow_id = crashed.submit(X)
+        crashed.emr.run_job_flow(flow_id, max_steps=2)
+        resumed = crashed.resume(flow_id)
+
+    remaining_static = base
+    remaining_auto = auto.stage_makespans["spectral"] + scaler.overhead
+    checks = {
+        "labels_identical": bool(np.array_equal(static.labels, auto.labels)),
+        "counters_identical": static.counters == auto.counters,
+        "resume_labels_identical": bool(np.array_equal(static.labels, resumed.labels)),
+        "resume_schedule_identical": replay_scaler.schedule() == scaler.schedule(),
+        "resume_makespan_identical": resumed.makespan == auto.makespan,
+    }
+    summary = scaler.summary()
+    print(
+        f"autoscale drill (n={X.shape[0]}, n_nodes={args.n_nodes}, "
+        f"policy={summary['policy']})",
+        file=sys.stdout,
+    )
+    for name, passed in checks.items():
+        print(f"  {'PASS' if passed else 'FAIL'}  {name}", file=sys.stdout)
+    print(
+        f"  nodes: {summary['initial_nodes']} -> {summary['final_nodes']} over "
+        f"{summary['decisions']} decisions "
+        f"(up×{summary['actions']['up']}, down×{summary['actions']['down']}, "
+        f"hold×{summary['actions']['hold']})",
+        file=sys.stdout,
+    )
+    for trigger, action, before, after in scaler.schedule():
+        print(f"    {trigger}: {action} {before} -> {after}", file=sys.stdout)
+    print(
+        f"  remaining makespan: static {remaining_static:.0f}s vs autoscaled "
+        f"{remaining_auto:.0f}s "
+        f"({remaining_static / remaining_auto:.2f}x; cold start {summary['cold_start']:.0f}s, "
+        f"drain {summary['drain_cost']:.0f}s over {summary['blocks_moved']} blocks)",
+        file=sys.stdout,
+    )
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    return 0 if all(checks.values()) else 1
+
+
 def _cmd_serve_bench(args) -> int:
     import contextlib
 
@@ -690,6 +833,8 @@ def main(argv=None) -> int:
         return _cmd_verify(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "autoscale":
+        return _cmd_autoscale(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
     return _cmd_analyze(args)

@@ -150,6 +150,13 @@ class DistributedDASC:
         ``REPRO_DATA_PLANE`` environment variable (unset = batched).
         Labels, counters and simulated makespans are bit-identical either
         way — only real wall-clock differs.
+    autoscaler:
+        Optional :class:`~repro.mapreduce.autoscale.Autoscaler` making the
+        provisioned cluster elastic: it resizes between the flow's phases
+        and steps (e.g. growing for the reduce-bound spectral stage) and
+        checkpoints its decisions so :meth:`resume` replays the identical
+        scaling schedule. Labels and counters are unaffected — scaling
+        moves only the simulated makespan.
     """
 
     def __init__(
@@ -163,6 +170,7 @@ class DistributedDASC:
         spectral_mode: str = "inline",
         n_jobs: int | None = None,
         data_plane: str | None = None,
+        autoscaler=None,
     ):
         self.config = config if config is not None else DASCConfig()
         if n_clusters is not None:
@@ -184,6 +192,7 @@ class DistributedDASC:
         self.spectral_mode = spectral_mode
         self.data_plane = resolve_data_plane(data_plane)
         self._batched = self.data_plane == "batched"
+        self.autoscaler = autoscaler
         self._pending: dict[str, dict] = {}
 
     # -- public API ----------------------------------------------------------
@@ -228,7 +237,12 @@ class DistributedDASC:
             seed=self.config.seed,
         ).fit(X)
 
-        flow_id, flow = self.emr.create_job_flow(self.n_nodes, split_size=self.split_size)
+        # Only forward the autoscaler when one is set: EMR subclasses that
+        # predate elasticity (test fixtures, chaos wrappers) keep working.
+        flow_kwargs = {"split_size": self.split_size}
+        if self.autoscaler is not None:
+            flow_kwargs["autoscaler"] = self.autoscaler
+        flow_id, flow = self.emr.create_job_flow(self.n_nodes, **flow_kwargs)
         # "Upload to S3" through the hardened client: the write is
         # checksummed, atomic, and retried under transient storage faults.
         self.emr.storage.put(f"{flow_id}/input", X)

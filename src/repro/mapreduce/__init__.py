@@ -13,6 +13,10 @@ deployment story needs:
   quantity of Table 3),
 * :mod:`repro.mapreduce.emr` — an Elastic-MapReduce-like service: an
   S3-like object store plus job flows of steps,
+* :mod:`repro.mapreduce.autoscale` — the closed loop over the cluster:
+  policies that read per-phase scheduling signals and resize the cluster
+  between phases and steps (cold starts and decommission drains charged
+  to the makespan, decisions checkpointed for bit-identical resume),
 * :mod:`repro.mapreduce.storage` — the storage plane: the object store,
   the :class:`ChaosStore` fault injector, and the hardened
   :class:`ResilientStore` client (checksummed envelopes, atomic writes,
@@ -60,7 +64,18 @@ from repro.mapreduce.cluster import (
     SimulatedCluster,
     TaskStats,
     PhaseTask,
+    ScaleReport,
     SpeculationConfig,
+)
+from repro.mapreduce.autoscale import (
+    Autoscaler,
+    AutoscalePolicy,
+    AutoscalerState,
+    BudgetCap,
+    PhaseSignals,
+    ScaleDecision,
+    Static,
+    TargetMakespan,
 )
 from repro.mapreduce.job import Job, JobFlow, JobFlowStep, JobFlowError
 from repro.mapreduce.emr import S3Store, ElasticMapReduce
@@ -109,7 +124,16 @@ __all__ = [
     "SimulatedCluster",
     "TaskStats",
     "PhaseTask",
+    "ScaleReport",
     "SpeculationConfig",
+    "Autoscaler",
+    "AutoscalePolicy",
+    "AutoscalerState",
+    "BudgetCap",
+    "PhaseSignals",
+    "ScaleDecision",
+    "Static",
+    "TargetMakespan",
     "Job",
     "JobFlow",
     "JobFlowStep",

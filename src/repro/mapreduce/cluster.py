@@ -22,6 +22,7 @@ __all__ = [
     "TABLE2_DEFAULTS",
     "TaskStats",
     "PhaseTask",
+    "ScaleReport",
     "SpeculationConfig",
     "SimulatedCluster",
 ]
@@ -127,6 +128,29 @@ class SpeculationConfig:
             raise ValueError(f"lag_threshold must be > 1, got {self.lag_threshold}")
 
 
+@dataclass(frozen=True)
+class ScaleReport:
+    """Outcome of one elastic resize of a :class:`SimulatedCluster`.
+
+    ``cold_start`` is the provisioning latency a scale-up charges to the
+    flow's simulated makespan (nodes boot in parallel, so it is flat per
+    scale-up event, not per node). ``drain_cost`` is the re-replication
+    time a decommission drain charges, proportional to the block copies
+    moved off the retiring nodes.
+    """
+
+    added: tuple[int, ...] = ()
+    removed: tuple[int, ...] = ()
+    cold_start: float = 0.0
+    drain_cost: float = 0.0
+    blocks_moved: int = 0
+
+    @property
+    def overhead(self) -> float:
+        """Total simulated latency this resize charges to the makespan."""
+        return self.cold_start + self.drain_cost
+
+
 @dataclass
 class _Attempt:
     """One execution attempt of a task on a slot (internal bookkeeping)."""
@@ -166,6 +190,80 @@ class SimulatedCluster:
     def reduce_slots(self) -> int:
         """Total concurrent reduce tasks the cluster sustains."""
         return self.n_nodes * self.node.reduce_slots
+
+    # -- elasticity ----------------------------------------------------------
+
+    def add_nodes(self, count: int, *, cold_start: float = 0.0) -> ScaleReport:
+        """Join ``count`` fresh nodes (ids continue the contiguous range).
+
+        ``cold_start`` is the provisioning latency the scale-up charges to
+        the simulated makespan — nodes boot in parallel, so the charge is
+        flat per scale-up event. Scheduling decisions made after this call
+        see the enlarged slot pool; completed phases are unaffected.
+        """
+        if count < 1:
+            raise ValueError(f"must add at least one node, got {count}")
+        if cold_start < 0:
+            raise ValueError(f"cold_start must be >= 0, got {cold_start}")
+        added = tuple(range(self.n_nodes, self.n_nodes + int(count)))
+        self.n_nodes += int(count)
+        return ScaleReport(added=added, cold_start=float(cold_start))
+
+    def decommission_nodes(
+        self, count: int, *, fs=None, drain_cost_per_block: float = 0.0
+    ) -> ScaleReport:
+        """Drain and remove the ``count`` highest-numbered nodes.
+
+        The drain protocol runs *between* phases, when no task attempts are
+        in flight on the simulated timeline: each retiring node's HDFS
+        blocks are re-replicated onto the surviving nodes (via
+        ``fs.decommission_nodes`` when a :class:`SimulatedHDFS` is passed)
+        before the node leaves, so no split loses all its replicas. The
+        re-replication time — ``drain_cost_per_block`` per block copy moved
+        — is returned for the caller to charge to the makespan. A node
+        killed mid-drain (a :class:`NodeFailurePolicy` kill racing the
+        drain) stops serving as a copy *source*, but the blocks already
+        re-replicated survive; the filesystem falls back to the remaining
+        live replicas for the rest.
+        """
+        if count < 1:
+            raise ValueError(f"must decommission at least one node, got {count}")
+        if count >= self.n_nodes:
+            raise ValueError(
+                f"cannot decommission {count} of {self.n_nodes} nodes: "
+                "at least one node must survive"
+            )
+        if drain_cost_per_block < 0:
+            raise ValueError(f"drain_cost_per_block must be >= 0, got {drain_cost_per_block}")
+        removed = tuple(range(self.n_nodes - int(count), self.n_nodes))
+        blocks_moved = 0
+        if fs is not None:
+            blocks_moved = fs.decommission_nodes(*removed)
+        self.n_nodes -= int(count)
+        return ScaleReport(
+            removed=removed,
+            drain_cost=blocks_moved * float(drain_cost_per_block),
+            blocks_moved=blocks_moved,
+        )
+
+    def resize(
+        self,
+        n_nodes: int,
+        *,
+        fs=None,
+        cold_start: float = 0.0,
+        drain_cost_per_block: float = 0.0,
+    ) -> ScaleReport:
+        """Scale the cluster to ``n_nodes``, growing or draining as needed."""
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        if n_nodes > self.n_nodes:
+            return self.add_nodes(n_nodes - self.n_nodes, cold_start=cold_start)
+        if n_nodes < self.n_nodes:
+            return self.decommission_nodes(
+                self.n_nodes - n_nodes, fs=fs, drain_cost_per_block=drain_cost_per_block
+            )
+        return ScaleReport()
 
     def _emit_phase_event(self, phase: str, stats: "TaskStats") -> None:
         """Attribute the phase's simulated makespan per node in the trace.

@@ -66,13 +66,17 @@ class ElasticMapReduce:
         self._next_id = 0
 
     def create_job_flow(
-        self, n_nodes: int, *, split_size: int = 1024, checkpoint: bool = True
+        self, n_nodes: int, *, split_size: int = 1024, checkpoint: bool = True, autoscaler=None
     ) -> tuple[str, JobFlow]:
         """Provision a cluster of ``n_nodes`` and return (flow_id, JobFlow).
 
         With ``checkpoint`` on (the default), completed job steps persist
         their outputs to S3 under ``{flow_id}/checkpoints/`` so the flow can
-        be resumed after a driver crash via :meth:`resume_job_flow`.
+        be resumed after a driver crash via :meth:`resume_job_flow`. An
+        ``autoscaler`` (:class:`~repro.mapreduce.autoscale.Autoscaler`)
+        makes the provisioned size elastic: it resizes the cluster between
+        phases and steps, with its decisions checkpointed next to the
+        flow's so resume replays the same scaling schedule.
         """
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
@@ -85,6 +89,7 @@ class ElasticMapReduce:
             ),
             checkpoint_store=self.storage if checkpoint else None,
             checkpoint_prefix=f"{flow_id}/checkpoints",
+            autoscaler=autoscaler,
         )
         self._next_id += 1
         self._flows[flow_id] = _ProvisionedFlow(flow_id=flow_id, flow=flow, n_nodes=n_nodes)
@@ -124,6 +129,7 @@ class ElasticMapReduce:
         return {
             "flow_id": entry.flow_id,
             "n_nodes": entry.n_nodes,
+            "n_nodes_current": entry.flow.engine.cluster.n_nodes,
             "n_steps": len(entry.flow.steps),
             "completed_steps": len(entry.flow.results),
             "restored_steps": list(entry.flow.restored_steps),

@@ -368,9 +368,12 @@ class MapReduceEngine:
         unaffected by the backend; only real wall-clock is.
     """
 
-    def __init__(self, cluster: SimulatedCluster | None = None, *, executor=None):
+    def __init__(self, cluster: SimulatedCluster | None = None, *, executor=None, autoscaler=None):
         self.cluster = cluster if cluster is not None else SimulatedCluster(1)
         self.executor = executor if executor is not None else default_executor()
+        # Between-phase resize hook (see repro.mapreduce.autoscale); a bound
+        # JobFlow installs its autoscaler here for the duration of a run.
+        self.autoscaler = autoscaler
 
     # -- public API ----------------------------------------------------------
 
@@ -527,6 +530,12 @@ class MapReduceEngine:
                 job, partitions, counters, tracer
             )
         reduce_wall = time.perf_counter() - phase_start
+        # Between-phase decision point: the map phase is scheduled and the
+        # reduce queue is known, but the reduce phase is not yet placed —
+        # resizing here changes the reduce schedule (makespan only; task
+        # results are already computed, so outputs stay bit-identical).
+        if self.autoscaler is not None:
+            self.autoscaler.between_phases(job.name, map_stats, reduce_costs)
         with tracer.span("mr.schedule", phase="reduce"):
             reduce_stats = self._schedule_reduce_phase(reduce_costs, counters)
         reduce_stats.real_elapsed = reduce_wall
@@ -613,6 +622,10 @@ class MapReduceEngine:
                 self._batch_reduce_phase_serial(job, partitions, counters, tracer)
             )
         reduce_wall = time.perf_counter() - phase_start
+        # Same between-phase decision point as the record path — identical
+        # scheduling inputs keep the two data planes' makespans bit-identical.
+        if self.autoscaler is not None:
+            self.autoscaler.between_phases(job.name, map_stats, reduce_costs)
         with tracer.span("mr.schedule", phase="reduce"):
             reduce_stats = self._schedule_reduce_phase(reduce_costs, counters)
         reduce_stats.real_elapsed = reduce_wall

@@ -85,6 +85,7 @@ class SimulatedHDFS:
         if default_split_size < 1:
             raise ValueError(f"default_split_size must be >= 1, got {default_split_size}")
         self.n_nodes = int(n_nodes)
+        self._requested_replication = int(replication)
         self.replication = min(int(replication), self.n_nodes)
         self.default_split_size = int(default_split_size)
         self._files: dict[str, _StoredFile] = {}
@@ -113,6 +114,81 @@ class SimulatedHDFS:
 
     def _live_replicas(self, placements: tuple) -> tuple:
         return tuple(n for n in placements if n not in self._dead)
+
+    # -- elasticity ----------------------------------------------------------
+
+    def add_nodes(self, count: int) -> tuple[int, ...]:
+        """Join ``count`` fresh, empty datanodes (ids continue the range).
+
+        Existing placements are untouched; subsequent writes spread over
+        the enlarged pool, and the effective replication factor recovers
+        toward the requested one if it had been clipped by a small cluster.
+        """
+        if count < 1:
+            raise ValueError(f"must add at least one datanode, got {count}")
+        added = tuple(range(self.n_nodes, self.n_nodes + int(count)))
+        self.n_nodes += int(count)
+        self.replication = min(self._requested_replication, self.n_nodes)
+        return added
+
+    def decommission_nodes(self, *nodes: int) -> int:
+        """Drain and remove datanodes; returns the block copies re-replicated.
+
+        ``nodes`` must be the highest-numbered datanodes so the surviving
+        id space stays contiguous (the autoscaler always retires from the
+        top). Every split with a replica on a retiring node gets a fresh
+        copy on a surviving *live* node before the retirees leave — the
+        drain protocol — so no split loses all its replicas to a planned
+        scale-down. A retiring node that is already dead (a kill racing
+        the drain) cannot serve as a copy source; its splits re-replicate
+        from their surviving live replicas instead, and only a split with
+        no live holder at all raises :class:`ReplicaUnavailableError`.
+        """
+        removing = {int(n) for n in nodes}
+        if not removing:
+            return 0
+        if any(n < 0 or n >= self.n_nodes for n in removing):
+            raise ValueError(f"unknown datanodes {sorted(removing)} (cluster has {self.n_nodes})")
+        n_after = self.n_nodes - len(removing)
+        if n_after < 1:
+            raise ValueError("cannot decommission every datanode")
+        if removing != set(range(n_after, self.n_nodes)):
+            raise ValueError(
+                f"decommission retires the highest-numbered datanodes; "
+                f"expected {sorted(range(n_after, self.n_nodes))}, got {sorted(removing)}"
+            )
+        targets = [n for n in range(n_after) if n not in self._dead]
+        if not targets:
+            raise ValueError("no live datanodes left to receive drained blocks")
+        moved = 0
+        for path, stored in sorted(self._files.items()):
+            for s in sorted(stored.placements):
+                placements = stored.placements[s]
+                keep = [n for n in placements if n not in removing]
+                deficit = len(placements) - len(keep)
+                if deficit == 0:
+                    continue
+                if not self._live_replicas(placements):
+                    # Every holder (draining or not) is dead: the drain can
+                    # copy from nothing — surface the loss, never hide it.
+                    raise ReplicaUnavailableError(path, s, placements)
+                for target in targets:
+                    if deficit == 0:
+                        break
+                    if target in keep:
+                        continue
+                    keep.append(target)
+                    moved += 1
+                    deficit -= 1
+                # Fewer surviving nodes than the replication factor: the
+                # split keeps one copy per distinct survivor (degraded but
+                # safe, same clipping as writes on a small cluster).
+                stored.placements[s] = tuple(keep)
+        self._dead -= removing
+        self.n_nodes = n_after
+        self.replication = min(self._requested_replication, self.n_nodes)
+        self._next_node %= self.n_nodes
+        return moved
 
     # -- writes ------------------------------------------------------------
 

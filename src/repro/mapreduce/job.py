@@ -114,9 +114,16 @@ class JobFlow:
         Key prefix for this flow's checkpoints in the store.
     restored_steps:
         Indices of steps restored from checkpoints by the last ``run``.
+    autoscaler:
+        Optional :class:`~repro.mapreduce.autoscale.Autoscaler`: consulted
+        between the map/reduce phases of every job step and after every
+        step, its resize decisions are checkpointed alongside the flow so
+        a crashed driver resumes by replaying the identical scaling
+        schedule.
     makespan:
         Total simulated wall-clock across all executed job steps (restored
-        steps contribute their originally recorded makespan).
+        steps contribute their originally recorded makespan), plus any
+        cold-start/drain latency the autoscaler charged.
     """
 
     engine: MapReduceEngine
@@ -126,6 +133,7 @@ class JobFlow:
     checkpoint_store: object | None = None
     checkpoint_prefix: str = "checkpoints"
     restored_steps: list[int] = field(default_factory=list)
+    autoscaler: object | None = None
 
     def add_job(self, spec: JobSpec, input_path: str, output_path: str) -> "JobFlow":
         """Append a MapReduce step."""
@@ -158,6 +166,8 @@ class JobFlow:
         tracer = get_tracer()
         self.results = []
         self.restored_steps = []
+        if self.autoscaler is not None:
+            self.autoscaler.bind(self, resume=resume)
         executed = 0
         i = 0
         with tracer.span("jobflow.run", resume=resume) as flow_span:
@@ -166,11 +176,15 @@ class JobFlow:
                 if max_steps is not None and executed >= max_steps:
                     break
                 step = self.steps[i]
+                if self.autoscaler is not None:
+                    self.autoscaler.begin_step(i)
                 if step.job is not None:
                     self.results.append(self._run_job_step(step, i, resume))
                 else:
                     with tracer.span("jobflow.action", step=step.name, index=i):
                         self.results.append(step.action(self))
+                if self.autoscaler is not None:
+                    self.autoscaler.after_step(i, step.name, self.results[-1])
                 executed += 1
                 i += 1
             flow_span.set("n_steps", len(self.steps))
@@ -181,8 +195,12 @@ class JobFlow:
 
     @property
     def makespan(self) -> float:
-        """Sum of simulated makespans over completed job steps."""
-        return sum(r.makespan for r in self.results if isinstance(r, JobResult))
+        """Sum of simulated makespans over completed job steps, plus any
+        autoscaling overhead (cold starts, decommission drains)."""
+        total = sum(r.makespan for r in self.results if isinstance(r, JobResult))
+        if self.autoscaler is not None:
+            total += self.autoscaler.overhead
+        return total
 
     # -- internals -----------------------------------------------------------
 
@@ -221,6 +239,12 @@ class JobFlow:
                     step_span.set("checkpoint_quarantined", quarantine_key)
                     step_span.set("corrupt_reason", exc.reason)
                 else:
+                    if self.autoscaler is not None:
+                        # The step's phases never re-run, so its between-
+                        # phase decisions replay from the log — before the
+                        # restore write, mirroring the original run's order
+                        # (the resize preceded the step's output placement).
+                        self.autoscaler.replay_step(index)
                     result = self._restore(step, payload)
                     self.restored_steps.append(index)
                     step_span.set("from_checkpoint", True)

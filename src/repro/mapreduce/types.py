@@ -157,6 +157,16 @@ class RecordBatch:
     def take(self, indices) -> "RecordBatch":
         """A new batch holding rows ``indices`` (fancy indexing, copies)."""
         indices = np.asarray(indices)
+        n = len(self)
+        # Bounds-check up front: a zero-column batch has no value arrays to
+        # catch a bad index, and the error should name the batch, not leak
+        # from whichever column happened to be indexed first.
+        if indices.size and indices.dtype.kind in "iu" and (
+            int(indices.min()) < -n or int(indices.max()) >= n
+        ):
+            raise IndexError(
+                f"take indices out of range for RecordBatch of {n} row(s)"
+            )
         return RecordBatch(self.keys[indices], _take_columns(self.values, indices))
 
     @property
@@ -167,6 +177,10 @@ class RecordBatch:
 
     def to_records(self) -> list[tuple]:
         """Materialise the equivalent list of ``(key, value)`` tuples."""
+        if isinstance(self.values, tuple) and not self.values:
+            # zip(*()) is the empty iterator, which would silently drop
+            # every key of a zero-column batch; each row's value is ().
+            return [(key, ()) for key in self.keys]
         return list(zip(self.keys, _iter_rows(self.values)))
 
     @classmethod

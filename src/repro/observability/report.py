@@ -56,16 +56,19 @@ def fault_summary(records: list[dict]) -> dict:
     """Itemize fault events and total their wasted time.
 
     Every ``fault.*`` event (task retries, node failures, speculative
-    attempts) and every ``storage.*`` event (retries with their backoff
-    time, corruption detections, quarantines) appears in ``items``
-    verbatim; ``wasted_cost`` sums whatever cost each event reports as
-    thrown-away work — for a storage retry, the backoff delay it burned.
+    attempts), every ``storage.*`` event (retries with their backoff
+    time, corruption detections, quarantines), and every ``autoscale.*``
+    event (resize decisions, cold starts, decommission drains) appears in
+    ``items`` verbatim; ``wasted_cost`` sums whatever cost each event
+    reports as thrown-away work — for a storage retry the backoff delay
+    it burned, for a scale-up the cold-start latency, for a drain the
+    block re-replication time.
     """
     items = [
         r
         for r in records
         if r.get("type") == "event"
-        and str(r.get("name", "")).startswith(("fault.", "storage."))
+        and str(r.get("name", "")).startswith(("fault.", "storage.", "autoscale."))
     ]
     by_kind: dict[str, int] = {}
     wasted = 0.0

@@ -20,7 +20,7 @@ from repro.serving.model import (
     attach_global_labels,
     fit_bucket_model,
 )
-from repro.serving.service import AssignmentService
+from repro.serving.service import AssignmentService, OverloadError
 
 __all__ = [
     "MODEL_FORMAT_VERSION",
@@ -32,6 +32,7 @@ __all__ = [
     "BucketModel",
     "DASCModel",
     "AssignmentService",
+    "OverloadError",
     "assemble_model",
     "attach_global_labels",
     "fit_bucket_model",

@@ -165,6 +165,72 @@ class TestRecordBatch:
             RecordBatch(keys=np.arange(3), values=np.arange(4))
 
 
+class TestRecordBatchEdges:
+    """Boundary shapes: empty batches, degenerate concats, bad indices."""
+
+    def test_empty_batch_roundtrip(self):
+        batch = RecordBatch(
+            keys=np.array([], dtype=np.int64), values=np.empty((0, 3))
+        )
+        assert len(batch) == 0
+        assert batch.to_records() == []
+        assert batch[0:0].to_records() == []
+        assert len(batch.take(np.array([], dtype=np.int64))) == 0
+        assert batch.nbytes == 0
+        # from_records cannot infer a column layout from zero records —
+        # the engine keeps empty partitions on the record path.
+        assert RecordBatch.from_records(batch.to_records()) is None
+
+    def test_concat_of_zero_batches_raises(self):
+        with pytest.raises(ValueError, match="zero batches"):
+            RecordBatch.concat([])
+
+    def test_concat_of_one_batch_is_passthrough(self):
+        batch = RecordBatch.from_records([(0, 1.0), (1, 2.0)])
+        assert RecordBatch.concat([batch]) is batch
+
+    def test_concat_of_slice_views(self):
+        base = RecordBatch.from_records([(i, i * 1.0) for i in range(10)])
+        merged = RecordBatch.concat([base[7:], base[:3], base[5:5]])
+        assert merged.keys.tolist() == [7, 8, 9, 0, 1, 2]
+        assert merged.values.tolist() == [7.0, 8.0, 9.0, 0.0, 1.0, 2.0]
+
+    def test_concat_rejects_mismatched_structure(self):
+        flat = RecordBatch.from_records([(0, 1.0)])
+        nested = RecordBatch.from_records([(0, (1, 2.0))])
+        with pytest.raises((TypeError, ValueError)):
+            RecordBatch.concat([flat, nested])
+
+    def test_take_out_of_range_raises_cleanly(self):
+        batch = RecordBatch.from_records([(i, i * 1.0) for i in range(4)])
+        with pytest.raises(IndexError, match="RecordBatch of 4"):
+            batch.take(np.array([0, 4]))
+        with pytest.raises(IndexError, match="RecordBatch of 4"):
+            batch.take(np.array([-5]))
+        # negative indices within range keep numpy semantics
+        assert batch.take(np.array([-1])).keys.tolist() == [3]
+
+    def test_take_on_empty_batch_rejects_any_index(self):
+        batch = RecordBatch(keys=np.array([], dtype=np.int64), values=np.empty((0,)))
+        with pytest.raises(IndexError, match="RecordBatch of 0"):
+            batch.take(np.array([0]))
+
+    def test_getitem_requires_slice(self):
+        batch = RecordBatch.from_records([(0, 1.0)])
+        with pytest.raises(TypeError, match="slice"):
+            batch[0]
+
+    def test_zero_column_batch_keeps_rows(self):
+        # values=() is a batch of keyed empty tuples; the keys must survive
+        # the columnar round-trip instead of vanishing into zip(*()).
+        batch = RecordBatch(keys=np.arange(3), values=())
+        assert len(batch) == 3
+        assert batch.to_records() == [(0, ()), (1, ()), (2, ())]
+        assert batch.take(np.array([2, 0])).to_records() == [(2, ()), (0, ())]
+        # nbytes: 8/key-pointer + 16/tuple + key row bytes, no value bytes
+        assert batch.nbytes == 8 * 3 + 3 * (16 + batch.keys.dtype.itemsize)
+
+
 # -- engine-level equivalence ------------------------------------------------
 
 class TestEngineEquivalence:

@@ -24,12 +24,12 @@ def load_example(name):
 @pytest.mark.parametrize(
     "name",
     [
-        "quickstart",
+        pytest.param("quickstart", marks=pytest.mark.slow),
         "nongaussian_shapes",
         "kernel_pca_approx",
         "distributed_substrate",
-        "streaming_dasc",
-        "wikipedia_clustering",
+        pytest.param("streaming_dasc", marks=pytest.mark.slow),
+        pytest.param("wikipedia_clustering", marks=pytest.mark.slow),
         "near_duplicates",
     ],
 )

@@ -8,8 +8,14 @@
   machine-readable output (CSV labels, trace files) and bypassing the
   ``repro.observability`` logging configuration. Diagnostics go through
   ``get_logger``; intentional terminal output states its stream.
+* No seedless global numpy randomness: ``np.random.rand()`` & friends draw
+  from the hidden global state, so results depend on call order across the
+  whole process — fatal for the repo's bit-identity contracts (serial vs
+  parallel, crash/resume, autoscaled vs static). Library code must thread
+  an explicit ``np.random.default_rng(seed)`` / ``Generator``.
 
-Tests are free to use both — these walks cover only the installed package.
+Tests are free to use all of these — the walks cover only the installed
+package.
 """
 
 import ast
@@ -47,4 +53,45 @@ def test_no_bare_print_in_library_code():
     assert not offenders, (
         "print() without explicit file= in library code (use repro.observability"
         ".get_logger, or pass file=sys.stdout/sys.stderr):\n" + "\n".join(offenders)
+    )
+
+
+# np.random attributes that construct explicit, seedable generators rather
+# than drawing from the hidden global state.
+_ALLOWED_NP_RANDOM = {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64"}
+
+
+def _np_random_attr(node):
+    """The ``X`` of an ``np.random.X`` / ``numpy.random.X`` attribute, or None."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    base = node.value
+    if (
+        isinstance(base, ast.Attribute)
+        and base.attr == "random"
+        and isinstance(base.value, ast.Name)
+        and base.value.id in ("np", "numpy")
+    ):
+        return node.attr
+    return None
+
+
+def test_no_seedless_global_numpy_random_in_library_code():
+    offenders = []
+    for path, tree in _walk_library_trees():
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            attr = _np_random_attr(node.func)
+            if attr is not None and attr not in _ALLOWED_NP_RANDOM:
+                # np.random.seed(...) included: it mutates hidden state too.
+                offenders.append(f"{path.relative_to(SRC.parent)}:{node.lineno} np.random.{attr}")
+            elif attr == "default_rng" and not node.args and not node.keywords:
+                # default_rng() with no seed is OS-entropy randomness.
+                offenders.append(
+                    f"{path.relative_to(SRC.parent)}:{node.lineno} np.random.default_rng()"
+                )
+    assert not offenders, (
+        "seedless global numpy randomness in library code (thread an explicit "
+        "np.random.default_rng(seed) / Generator instead):\n" + "\n".join(offenders)
     )

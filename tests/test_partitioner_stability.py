@@ -12,6 +12,8 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 from repro.mapreduce.engine import _default_partitioner, stable_hash
 
 SRC = Path(__file__).resolve().parent.parent / "src"
@@ -31,6 +33,7 @@ def run_probe(hashseed: str) -> str:
     return out.stdout.strip()
 
 
+@pytest.mark.slow
 def test_partitions_stable_across_hash_seeds():
     results = {run_probe(seed) for seed in ("0", "1", "12345")}
     assert len(results) == 1, f"partitioner varies with PYTHONHASHSEED: {results}"

@@ -1,0 +1,178 @@
+"""Property-based checks of the serving plane's signature routing.
+
+Hypothesis generates signature tables (unique sorted signatures, arbitrary
+bucket assignments and training sizes) plus query batches, and checks
+:meth:`DASCModel.route` against an oracle that re-derives the documented
+semantics one query at a time:
+
+* the chosen table row minimises Hamming distance to the query;
+* ties break to the **largest training bucket**, then to the **lowest
+  signature** (the table is signature-sorted and argmax takes the first
+  maximum);
+* the method code mirrors the bridged distance (exact / near / nearest),
+  and ``max_route_distance`` converts too-far routes into fallbacks.
+
+Crafted fixed examples pin the tie rule itself so a regression cannot
+hide behind generator luck.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import (
+    ROUTE_EXACT,
+    ROUTE_FALLBACK,
+    ROUTE_NEAR,
+    ROUTE_NEAREST,
+    DASCModel,
+)
+
+SIG_BITS = 16
+
+
+def make_model(signatures, buckets, sizes) -> DASCModel:
+    """A routing-only model: the fields ``route()`` never reads are inert."""
+    return DASCModel(
+        hasher=None,
+        kernel=None,
+        zero_diagonal=True,
+        n_clusters=1,
+        table_signatures=np.asarray(signatures, dtype=np.uint64),
+        table_buckets=np.asarray(buckets, dtype=np.int64),
+        bucket_sizes=np.asarray(sizes, dtype=np.int64),
+        buckets=[None] * len(sizes),
+        global_centroids=np.zeros((1, 2)),
+        global_centroid_labels=np.zeros(1, dtype=np.int64),
+    )
+
+
+def brute_route(query, signatures, buckets, sizes, max_route_distance=None):
+    """Per-query reference: min Hamming -> max bucket size -> min signature."""
+    dists = [bin(int(query) ^ int(s)).count("1") for s in signatures]
+    dmin = min(dists)
+    cand = [i for i, d in enumerate(dists) if d == dmin]
+    best = min(cand, key=lambda i: (-int(sizes[buckets[i]]), int(signatures[i])))
+    if dmin == 0:
+        method = ROUTE_EXACT
+    elif max_route_distance is not None and dmin > max_route_distance:
+        return -1, ROUTE_FALLBACK
+    elif dmin <= 1:
+        method = ROUTE_NEAR
+    else:
+        method = ROUTE_NEAREST
+    return int(buckets[best]), method
+
+
+@st.composite
+def routing_tables(draw):
+    signatures = sorted(
+        draw(
+            st.lists(
+                st.integers(0, 2**SIG_BITS - 1), min_size=1, max_size=24, unique=True
+            )
+        )
+    )
+    n_buckets = draw(st.integers(1, len(signatures)))
+    buckets = draw(
+        st.lists(
+            st.integers(0, n_buckets - 1),
+            min_size=len(signatures),
+            max_size=len(signatures),
+        )
+    )
+    sizes = draw(
+        st.lists(st.integers(1, 1000), min_size=n_buckets, max_size=n_buckets)
+    )
+    return signatures, buckets, sizes
+
+
+queries = st.lists(st.integers(0, 2**SIG_BITS - 1), min_size=1, max_size=32)
+
+
+class TestRouteMatchesBruteForce:
+    @given(routing_tables(), queries)
+    @settings(max_examples=120, deadline=None)
+    def test_route_equals_reference(self, table, qs):
+        signatures, buckets, sizes = table
+        model = make_model(signatures, buckets, sizes)
+        got_buckets, got_methods = model.route(np.asarray(qs, dtype=np.uint64))
+        for i, q in enumerate(qs):
+            want_bucket, want_method = brute_route(q, signatures, buckets, sizes)
+            assert got_buckets[i] == want_bucket, f"query {q:#x}"
+            assert got_methods[i] == want_method, f"query {q:#x}"
+
+    @given(routing_tables(), queries, st.integers(0, SIG_BITS))
+    @settings(max_examples=80, deadline=None)
+    def test_route_respects_max_distance(self, table, qs, cap):
+        signatures, buckets, sizes = table
+        model = make_model(signatures, buckets, sizes)
+        got_buckets, got_methods = model.route(
+            np.asarray(qs, dtype=np.uint64), max_route_distance=cap
+        )
+        for i, q in enumerate(qs):
+            want_bucket, want_method = brute_route(
+                q, signatures, buckets, sizes, max_route_distance=cap
+            )
+            assert got_buckets[i] == want_bucket
+            assert got_methods[i] == want_method
+            if got_methods[i] == ROUTE_FALLBACK:
+                assert got_buckets[i] == -1
+
+    @given(routing_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_table_signatures_route_exactly_to_their_buckets(self, table):
+        signatures, buckets, sizes = table
+        model = make_model(signatures, buckets, sizes)
+        got_buckets, got_methods = model.route(np.asarray(signatures, dtype=np.uint64))
+        assert np.array_equal(got_buckets, np.asarray(buckets, dtype=np.int64))
+        assert np.all(got_methods == ROUTE_EXACT)
+
+    @given(routing_tables(), queries)
+    @settings(max_examples=60, deadline=None)
+    def test_batch_routing_is_per_query(self, table, qs):
+        """Routing a batch equals routing each query alone (no cross-talk)."""
+        signatures, buckets, sizes = table
+        model = make_model(signatures, buckets, sizes)
+        batch_buckets, batch_methods = model.route(np.asarray(qs, dtype=np.uint64))
+        for i, q in enumerate(qs):
+            one_bucket, one_method = model.route(np.asarray([q], dtype=np.uint64))
+            assert batch_buckets[i] == one_bucket[0]
+            assert batch_methods[i] == one_method[0]
+
+
+class TestCraftedTies:
+    def test_larger_bucket_wins_equidistant_tie(self):
+        # query 0b0110 is Hamming-1 from both 0b0111 (bucket 0) and
+        # 0b0100 (bucket 1); bucket 1 trained on more points and wins.
+        model = make_model([0b0100, 0b0111], [1, 0], [10, 50])
+        got_buckets, got_methods = model.route(np.asarray([0b0110], dtype=np.uint64))
+        assert got_buckets[0] == 1
+        assert got_methods[0] == ROUTE_NEAR
+
+    def test_lowest_signature_breaks_equal_sizes(self):
+        # Same geometry, equal sizes: the signature-sorted table makes
+        # argmax pick the first (lowest-signature) candidate -> bucket 1.
+        model = make_model([0b0100, 0b0111], [1, 0], [25, 25])
+        got_buckets, _ = model.route(np.asarray([0b0110], dtype=np.uint64))
+        assert got_buckets[0] == 1
+
+    def test_exact_match_beats_bigger_near_neighbour(self):
+        # An exact hit routes to its own bucket even when a Hamming-1
+        # neighbour has a much larger training bucket.
+        model = make_model([0b0000, 0b0001], [0, 1], [1, 1000])
+        got_buckets, got_methods = model.route(np.asarray([0b0000], dtype=np.uint64))
+        assert got_buckets[0] == 0
+        assert got_methods[0] == ROUTE_EXACT
+
+    def test_distance_two_is_nearest_not_near(self):
+        model = make_model([0b1100], [0], [5])
+        got_buckets, got_methods = model.route(np.asarray([0b0000], dtype=np.uint64))
+        assert got_buckets[0] == 0
+        assert got_methods[0] == ROUTE_NEAREST
+
+    def test_empty_table_falls_back(self):
+        model = make_model([], [], [1])
+        got_buckets, got_methods = model.route(np.asarray([7], dtype=np.uint64))
+        assert got_buckets[0] == -1
+        assert got_methods[0] == ROUTE_FALLBACK
